@@ -1,0 +1,15 @@
+package topomap
+
+import "repro/internal/ampi"
+
+// MPIWorld declares an iterative MPI-like program whose ranks are
+// migratable virtual processors (the Adaptive MPI model): point-to-point
+// exchanges, Cartesian halo exchanges, and collectives compile into the
+// task graph the mapping pipeline consumes.
+type MPIWorld = ampi.World
+
+// MPIJob couples a compiled MPI world with the instrumented runtime.
+type MPIJob = ampi.Job
+
+// NewMPIWorld creates a world with the given number of ranks.
+func NewMPIWorld(ranks int) (*MPIWorld, error) { return ampi.NewWorld(ranks) }

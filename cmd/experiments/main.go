@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-id table1|fig1|...|fig11|ablation-*|all]
+//
+// Without -quick, problem sizes match the paper's (the fig1 sweep reaches
+// p = 6084 and can take minutes). Output is one aligned text table per
+// experiment, with the same rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced sizes/iterations (seconds instead of minutes)")
+	id := flag.String("id", "all", "experiment id (table1, fig1..fig11, ablation-*, extras-*, all, ablations, extras)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outDir := flag.String("out", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	reg := experiments.Registry(*quick)
+	for k, v := range experiments.AblationRegistry(*quick) {
+		reg[k] = v
+	}
+	for k, v := range experiments.ExtrasRegistry(*quick) {
+		reg[k] = v
+	}
+	if *list {
+		ids := make([]string, 0, len(reg))
+		for k := range reg {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		for _, k := range ids {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	var ids []string
+	switch *id {
+	case "all":
+		ids = experiments.IDs()
+	case "ablations":
+		ids = experiments.AblationIDs()
+	case "extras":
+		ids = experiments.ExtrasIDs()
+	default:
+		if _, ok := reg[*id]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		ids = []string{*id}
+	}
+	for _, k := range ids {
+		tbl, err := reg[k]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		tbl.Format(os.Stdout)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, k+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package topomap_test
+
+import (
+	"fmt"
+
+	topomap "repro"
+)
+
+// Example reproduces the library's headline behavior: TopoLB finds the
+// optimal embedding of a Jacobi pattern into a torus while random
+// placement pays the machine's mean internode distance.
+func Example() {
+	tasks := topomap.Mesh2DPattern(16, 16, 1<<20)
+	machine, _ := topomap.NewTorus(16, 16)
+
+	topo, _ := topomap.TopoLB{}.Map(tasks, machine)
+	rand, _ := (topomap.Random{Seed: 1}).Map(tasks, machine)
+
+	fmt.Printf("E[random] = %.1f\n", topomap.ExpectedRandomHopsPerByte(machine))
+	fmt.Printf("TopoLB    = %.1f\n", topomap.HopsPerByte(tasks, machine, topo))
+	fmt.Printf("random    = %.1f\n", topomap.HopsPerByte(tasks, machine, rand))
+	// Output:
+	// E[random] = 8.0
+	// TopoLB    = 1.0
+	// random    = 8.0
+}
+
+// ExampleMapTasks runs the two-phase pipeline for an application with far
+// more tasks than processors.
+func ExampleMapTasks() {
+	tasks := topomap.LeanMD(16, 1e4, 1) // 3256 chares
+	machine, _ := topomap.NewTorus(4, 4)
+	res, _ := topomap.MapTasks(tasks, machine, nil, nil)
+	fmt.Println(len(res.Placement), res.QuotientGraph.NumVertices())
+	// Output: 3256 16
+}
+
+// ExampleRefineTopoLB shows strategy composition.
+func ExampleRefineTopoLB() {
+	tasks := topomap.Mesh2DPattern(4, 4, 1000)
+	machine, _ := topomap.NewTorus(4, 4)
+	s := topomap.RefineTopoLB{Base: topomap.TopoCentLB{}}
+	m, _ := s.Map(tasks, machine)
+	fmt.Println(s.Name(), m.Validate(tasks, machine) == nil)
+	// Output: TopoCentLB+Refine true
+}

@@ -1,0 +1,109 @@
+// MDJacobi writes the paper's benchmark as an actual message-driven chare
+// program (the Charm++ §1 execution model): each chare is a callback that
+// reacts to neighbor messages, computes, and sends — no global barriers.
+// The same program runs under a TopoLB placement and a random placement,
+// and the virtual-time difference is entirely due to network contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topomap "repro"
+)
+
+const (
+	side     = 8 // 8x8 chares on a (4,4,4) torus
+	iters    = 200
+	msgBytes = 4096
+	compute  = 20e-6
+)
+
+func neighbors(v int) []int {
+	x, y := v/side, v%side
+	var out []int
+	if x > 0 {
+		out = append(out, v-side)
+	}
+	if x < side-1 {
+		out = append(out, v+side)
+	}
+	if y > 0 {
+		out = append(out, v-1)
+	}
+	if y < side-1 {
+		out = append(out, v+1)
+	}
+	return out
+}
+
+// run executes the message-driven Jacobi under a placement and returns
+// the virtual completion time.
+func run(placement []int, machine topomap.Router) float64 {
+	n := side * side
+	iter := make([]int, n)
+	recv := make([][]int, n)
+	for i := range recv {
+		recv[i] = make([]int, iters+1)
+	}
+	entries := make([]topomap.ChareEntry, n)
+	for v := 0; v < n; v++ {
+		entries[v] = func(ctx *topomap.ChareCtx, m topomap.ChareMsg) {
+			me := ctx.Chare()
+			if m.Data != nil {
+				recv[me][m.Data.(int)]++
+			}
+			for iter[me] < iters {
+				k := iter[me]
+				if k > 0 && recv[me][k-1] < len(neighbors(me)) {
+					return // wait for the missing halo messages
+				}
+				ctx.Compute(compute)
+				for _, u := range neighbors(me) {
+					ctx.Send(u, msgBytes, k)
+				}
+				iter[me]++
+			}
+		}
+	}
+	ex, err := topomap.NewChareExec(entries, placement, topomap.SimConfig{
+		Topology:      machine,
+		LinkBandwidth: 1e8, // constrained: contention matters
+		LinkLatency:   100e-9,
+		PacketSize:    1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if err := ex.Inject(v, 1, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ex.Run()
+}
+
+func main() {
+	tasks := topomap.Mesh2DPattern(side, side, msgBytes)
+	machine, err := topomap.NewTorus(4, 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mTopo, err := topomap.TopoLB{}.Map(tasks, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mRand, err := (topomap.Random{Seed: 7}).Map(tasks, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tTopo := run(mTopo, machine)
+	tRand := run(mRand, machine)
+	fmt.Printf("message-driven 2D Jacobi, %d iterations, %d chares on %s\n",
+		iters, side*side, machine.Name())
+	fmt.Printf("  TopoLB placement: %7.2f ms  (hops/byte %.2f)\n",
+		tTopo*1e3, topomap.HopsPerByte(tasks, machine, mTopo))
+	fmt.Printf("  random placement: %7.2f ms  (hops/byte %.2f)\n",
+		tRand*1e3, topomap.HopsPerByte(tasks, machine, mRand))
+	fmt.Printf("  slowdown from contention alone: %.2fx\n", tRand/tTopo)
+}

@@ -1,0 +1,57 @@
+// Sweep explores how machine topology changes the value of topology-aware
+// mapping: the same 64-task Jacobi pattern is mapped onto a 2D torus, 3D
+// torus, 3D mesh, hypercube, and fat-tree, comparing TopoLB with random
+// placement on each. Low-diameter networks (hypercube, fat-tree) leave
+// little for a mapper to win — exactly the paper's motivation for
+// targeting torus/mesh machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topomap "repro"
+)
+
+func main() {
+	tasks := topomap.Mesh2DPattern(8, 8, 1e5)
+
+	type machine struct {
+		name string
+		topo topomap.Topology
+	}
+	var machines []machine
+	if t, err := topomap.NewTorus(8, 8); err == nil {
+		machines = append(machines, machine{"2D torus", t})
+	}
+	if t, err := topomap.NewTorus(4, 4, 4); err == nil {
+		machines = append(machines, machine{"3D torus", t})
+	}
+	if t, err := topomap.NewMesh(4, 4, 4); err == nil {
+		machines = append(machines, machine{"3D mesh", t})
+	}
+	if t, err := topomap.NewHypercube(6); err == nil {
+		machines = append(machines, machine{"hypercube", t})
+	}
+	if t, err := topomap.NewFatTree(4, 3); err == nil {
+		machines = append(machines, machine{"fat-tree", t})
+	}
+
+	fmt.Printf("%-10s  %9s  %9s  %9s  %9s  %8s\n",
+		"machine", "diameter", "E[rand]", "TopoLB", "random", "win")
+	for _, mc := range machines {
+		mT, err := (topomap.TopoLB{}).Map(tasks, mc.topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mR, err := (topomap.Random{Seed: 11}).Map(tasks, mc.topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hT := topomap.HopsPerByte(tasks, mc.topo, mT)
+		hR := topomap.HopsPerByte(tasks, mc.topo, mR)
+		fmt.Printf("%-10s  %9d  %9.2f  %9.3f  %9.3f  %7.1fx\n",
+			mc.name, topomap.Diameter(mc.topo),
+			topomap.ExpectedRandomHopsPerByte(mc.topo), hT, hR, hR/hT)
+	}
+}

@@ -1,0 +1,87 @@
+package topomap
+
+import "repro/internal/taskgraph"
+
+// TaskGraph is a weighted undirected graph of communicating tasks: vertex
+// weights are computation load, edge weights bytes per iteration.
+type TaskGraph = taskgraph.Graph
+
+// Builder incrementally constructs a TaskGraph.
+type Builder = taskgraph.Builder
+
+// NewBuilder creates a builder for a task graph on n tasks.
+func NewBuilder(n int) *Builder { return taskgraph.NewBuilder(n) }
+
+// Mesh2DPattern builds an rx × ry nearest-neighbor (Jacobi) pattern with
+// msgBytes per edge per iteration — the paper's principal benchmark.
+func Mesh2DPattern(rx, ry int, msgBytes float64) *TaskGraph {
+	return taskgraph.Mesh2D(rx, ry, msgBytes)
+}
+
+// Mesh3DPattern builds an rx × ry × rz 3D Jacobi pattern (Table 1).
+func Mesh3DPattern(rx, ry, rz int, msgBytes float64) *TaskGraph {
+	return taskgraph.Mesh3D(rx, ry, rz, msgBytes)
+}
+
+// RingPattern builds n tasks in a communication ring.
+func RingPattern(n int, msgBytes float64) *TaskGraph { return taskgraph.Ring(n, msgBytes) }
+
+// Torus2DPattern builds a wraparound 2D neighbor-exchange pattern.
+func Torus2DPattern(rx, ry int, msgBytes float64) *TaskGraph {
+	return taskgraph.Torus2D(rx, ry, msgBytes)
+}
+
+// AllToAllPattern builds n tasks that all exchange msgBytes pairwise.
+func AllToAllPattern(n int, msgBytes float64) *TaskGraph { return taskgraph.AllToAll(n, msgBytes) }
+
+// RandomGraph builds a connected random task graph (see
+// taskgraph.Random).
+func RandomGraph(n, m int, minW, maxW float64, seed int64) *TaskGraph {
+	return taskgraph.Random(n, m, minW, maxW, seed)
+}
+
+// LeanMD synthesizes the molecular-dynamics workload of the paper's §5.2.3
+// with 3240 + p chares.
+func LeanMD(p int, msgBytes float64, seed int64) *TaskGraph {
+	return taskgraph.LeanMD(p, msgBytes, seed)
+}
+
+// Stencil9Pattern builds an rx × ry 9-point stencil (4 face + 4 diagonal
+// neighbors, corner halos at a quarter of the bytes).
+func Stencil9Pattern(rx, ry int, msgBytes float64) *TaskGraph {
+	return taskgraph.Stencil9(rx, ry, msgBytes)
+}
+
+// TransposePattern builds the long-range matrix-transpose exchange on an
+// n × n logical grid of tasks.
+func TransposePattern(n int, msgBytes float64) *TaskGraph {
+	return taskgraph.Transpose(n, msgBytes)
+}
+
+// BinaryTreePattern builds a complete binary reduction tree on n tasks.
+func BinaryTreePattern(n int, msgBytes float64) *TaskGraph {
+	return taskgraph.BinaryTree(n, msgBytes)
+}
+
+// ButterflyPattern builds the recursive-doubling butterfly on 2^stages
+// tasks (hypercube edges).
+func ButterflyPattern(stages int, msgBytes float64) *TaskGraph {
+	return taskgraph.Butterfly(stages, msgBytes)
+}
+
+// WavefrontPattern builds the communication footprint of an rx × ry
+// wavefront sweep.
+func WavefrontPattern(rx, ry int, msgBytes float64) *TaskGraph {
+	return taskgraph.Wavefront(rx, ry, msgBytes)
+}
+
+// ScaleGraph multiplies every edge weight of g by factor.
+func ScaleGraph(g *TaskGraph, factor float64) *TaskGraph { return taskgraph.Scale(g, factor) }
+
+// OverlayGraphs sums the communication and load of several phases of the
+// same application (equal task counts required).
+func OverlayGraphs(gs ...*TaskGraph) (*TaskGraph, error) { return taskgraph.Overlay(gs...) }
+
+// LeanMDCoords returns the chare coordinates matching LeanMD(p, ...), for
+// geometric partitioners such as RCBPartitioner.
+func LeanMDCoords(p int) [][]float64 { return taskgraph.LeanMDCoords(p) }

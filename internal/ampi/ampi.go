@@ -1,0 +1,240 @@
+// Package ampi is an Adaptive-MPI-style veneer over the charm runtime.
+// The paper's strategies are "implemented in an adaptive runtime system
+// in Charm++ and Adaptive MPI, so it is available to many applications
+// written using Charm++ as well as MPI" — this package plays the AMPI
+// role: MPI ranks are virtual processors (chares), there may be many more
+// ranks than physical processors, and the runtime may migrate them.
+//
+// An application declares its per-iteration communication through World:
+// point-to-point exchanges, Cartesian neighbor exchanges, and collectives
+// (reduce/allreduce/alltoall/barrier), which are compiled into the
+// point-to-point patterns their standard algorithms induce (binomial
+// trees, recursive doubling). The result is a task graph the full mapping
+// pipeline — and the instrumented runtime — consumes.
+package ampi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/charm"
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+)
+
+// World describes an iterative MPI-like program on a set of ranks. Calls
+// accumulate per-iteration communication; Graph or App compile it.
+type World struct {
+	ranks   int
+	compute []float64
+	b       *taskgraph.Builder
+	err     error
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(ranks int) (*World, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("ampi: need at least 1 rank, got %d", ranks)
+	}
+	return &World{
+		ranks:   ranks,
+		compute: make([]float64, ranks),
+		b:       taskgraph.NewBuilder(ranks),
+	}, nil
+}
+
+// Ranks returns the number of ranks.
+func (w *World) Ranks() int { return w.ranks }
+
+// Err returns the first error recorded by any declaration call.
+func (w *World) Err() error { return w.err }
+
+func (w *World) fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("ampi: "+format, args...)
+	}
+}
+
+func (w *World) checkRank(r int) bool {
+	if r < 0 || r >= w.ranks {
+		w.fail("rank %d out of range [0,%d)", r, w.ranks)
+		return false
+	}
+	return true
+}
+
+// Compute declares seconds of computation per iteration on one rank.
+func (w *World) Compute(rank int, seconds float64) *World {
+	if !w.checkRank(rank) {
+		return w
+	}
+	if seconds < 0 {
+		w.fail("negative compute on rank %d", rank)
+		return w
+	}
+	w.compute[rank] += seconds
+	return w
+}
+
+// ComputeAll declares uniform per-iteration computation on every rank.
+func (w *World) ComputeAll(seconds float64) *World {
+	for r := 0; r < w.ranks; r++ {
+		w.Compute(r, seconds)
+	}
+	return w
+}
+
+// SendRecv declares a symmetric exchange of bytes between two ranks each
+// iteration (MPI_Sendrecv both ways).
+func (w *World) SendRecv(a, b int, bytes float64) *World {
+	if !w.checkRank(a) || !w.checkRank(b) {
+		return w
+	}
+	if a == b {
+		return w // self-communication is local
+	}
+	if bytes < 0 {
+		w.fail("negative bytes between ranks %d and %d", a, b)
+		return w
+	}
+	w.b.AddEdge(a, b, 2*bytes) // both directions
+	return w
+}
+
+// Cart2D declares the nearest-neighbor exchange of a non-periodic rx × ry
+// Cartesian communicator (MPI_Cart_create + halo exchange): every rank
+// swaps bytes with each of its up-to-4 neighbors per iteration.
+func (w *World) Cart2D(rx, ry int, bytes float64) *World {
+	if rx*ry != w.ranks {
+		w.fail("Cart2D %dx%d does not cover %d ranks", rx, ry, w.ranks)
+		return w
+	}
+	id := func(x, y int) int { return x*ry + y }
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			if x+1 < rx {
+				w.SendRecv(id(x, y), id(x+1, y), bytes)
+			}
+			if y+1 < ry {
+				w.SendRecv(id(x, y), id(x, y+1), bytes)
+			}
+		}
+	}
+	return w
+}
+
+// Reduce declares a reduction to root via a binomial tree: log₂R rounds;
+// each non-root rank sends its partial once per iteration.
+func (w *World) Reduce(root int, bytes float64) *World {
+	if !w.checkRank(root) {
+		return w
+	}
+	// Standard binomial tree on ranks relative to root: node v receives
+	// from v | 2^k children. Edges: each non-zero v' sends to v' with its
+	// lowest set bit cleared.
+	for v := 1; v < w.ranks; v++ {
+		parent := v &^ (-v & v) // clear lowest set bit
+		a := (v + root) % w.ranks
+		b := (parent + root) % w.ranks
+		if a != b {
+			w.b.AddEdge(a, b, bytes)
+		}
+	}
+	return w
+}
+
+// AllReduce declares an allreduce via recursive doubling: ceil(log₂R)
+// rounds in which rank r exchanges with r XOR 2^k — hypercube-pattern
+// traffic. Ranks beyond the largest power of two fold into it first.
+func (w *World) AllReduce(bytes float64) *World {
+	if bytes < 0 {
+		w.fail("negative allreduce bytes")
+		return w
+	}
+	n := w.ranks
+	pow2 := 1 << uint(bits.Len(uint(n))-1)
+	// Fold the tail into the power-of-two core and unfold at the end:
+	// one exchange each way.
+	for r := pow2; r < n; r++ {
+		w.b.AddEdge(r, r-pow2, 2*bytes)
+	}
+	for k := 1; k < pow2; k <<= 1 {
+		for r := 0; r < pow2; r++ {
+			partner := r ^ k
+			if r < partner {
+				w.b.AddEdge(r, partner, 2*bytes)
+			}
+		}
+	}
+	return w
+}
+
+// Barrier declares a barrier (an 8-byte allreduce).
+func (w *World) Barrier() *World { return w.AllReduce(8) }
+
+// AllToAll declares a full personalized exchange of bytes between every
+// rank pair per iteration.
+func (w *World) AllToAll(bytes float64) *World {
+	for a := 0; a < w.ranks; a++ {
+		for b := a + 1; b < w.ranks; b++ {
+			w.SendRecv(a, b, bytes)
+		}
+	}
+	return w
+}
+
+// Graph compiles the declared program into a task graph: vertex weights
+// are relative compute (seconds), edge weights bytes per iteration.
+func (w *World) Graph() (*taskgraph.Graph, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	for r, c := range w.compute {
+		w.b.SetVertexWeight(r, c)
+	}
+	return w.b.Build(fmt.Sprintf("ampi(ranks=%d)", w.ranks)), nil
+}
+
+// Job couples the compiled program with a runtime, ready to execute and
+// rebalance.
+type Job struct {
+	World *World
+	RT    *charm.Runtime
+	graph *taskgraph.Graph
+}
+
+// Launch places the world's ranks on machine (block placement, like
+// AMPI's default) and returns a Job. The virtualization ratio
+// ranks/processors may exceed 1.
+func (w *World) Launch(machine *emulator.Machine) (*Job, error) {
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	// Rank compute is in seconds already: 1 work unit = 1 second.
+	rt, err := charm.NewRuntime(charm.GraphApp{G: g}, machine, charm.WithWorkUnitTime(1))
+	if err != nil {
+		return nil, err
+	}
+	return &Job{World: w, RT: rt, graph: g}, nil
+}
+
+// Run executes iterations on the emulated machine.
+func (j *Job) Run(iterations int) (emulator.Result, error) { return j.RT.Run(iterations) }
+
+// Rebalance migrates ranks using the two-phase pipeline (AMPI process
+// migration via the LB framework). Returns migrated rank count.
+func (j *Job) Rebalance(part partition.Partitioner, strat core.Strategy) (int, error) {
+	if part == nil {
+		part = partition.Multilevel{}
+	}
+	if strat == nil {
+		strat = core.RefineTopoLB{Base: core.TopoLB{}}
+	}
+	return j.RT.Balance(part, strat)
+}
+
+// Graph returns the compiled communication graph.
+func (j *Job) Graph() *taskgraph.Graph { return j.graph }

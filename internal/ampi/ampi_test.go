@@ -1,0 +1,198 @@
+package ampi
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("want error for 0 ranks")
+	}
+}
+
+func TestDeclarationErrorsAccumulate(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Compute(9, 1e-6) // bad rank
+	w.SendRecv(0, 1, 100)
+	if _, err := w.Graph(); err == nil {
+		t.Error("want recorded error surfaced by Graph")
+	}
+	// First error wins.
+	w.SendRecv(0, 99, 1)
+	if w.Err() == nil {
+		t.Fatal("Err() lost the error")
+	}
+}
+
+func TestSendRecvBuildsSymmetricEdges(t *testing.T) {
+	w, _ := NewWorld(3)
+	w.SendRecv(0, 1, 500).SendRecv(1, 2, 250).SendRecv(1, 1, 999) // self ignored
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	// Both directions counted.
+	if got := g.EdgeWeight(0, 1); got != 1000 {
+		t.Errorf("edge 0-1 = %v, want 1000", got)
+	}
+}
+
+func TestCart2DMatchesMeshPattern(t *testing.T) {
+	w, _ := NewWorld(12)
+	w.Cart2D(4, 3, 100)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x3 mesh: 3*3 + 4*2 = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Errorf("edges = %d, want 17", g.NumEdges())
+	}
+	w2, _ := NewWorld(12)
+	w2.Cart2D(3, 3, 100)
+	if _, err := w2.Graph(); err == nil {
+		t.Error("want error for mismatched cart dims")
+	}
+}
+
+func TestReduceBinomialTree(t *testing.T) {
+	w, _ := NewWorld(8)
+	w.Reduce(0, 64)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A binomial tree on 8 nodes has exactly 7 edges.
+	if g.NumEdges() != 7 {
+		t.Errorf("edges = %d, want 7", g.NumEdges())
+	}
+	// The root's degree is log2(8) = 3.
+	if g.Degree(0) != 3 {
+		t.Errorf("root degree = %d, want 3", g.Degree(0))
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	w, _ := NewWorld(8)
+	w.Reduce(5, 64)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 7 {
+		t.Errorf("edges = %d, want 7", g.NumEdges())
+	}
+	if g.Degree(5) != 3 {
+		t.Errorf("root(5) degree = %d, want 3", g.Degree(5))
+	}
+}
+
+func TestAllReducePowerOfTwoIsHypercube(t *testing.T) {
+	w, _ := NewWorld(16)
+	w.AllReduce(1024)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recursive doubling on 16 ranks: 16/2 * log2(16) = 32 edges.
+	if g.NumEdges() != 32 {
+		t.Fatalf("edges = %d, want 32", g.NumEdges())
+	}
+	// Every edge connects Hamming-distance-1 partners.
+	for v := 0; v < 16; v++ {
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if bits.OnesCount32(uint32(v^int(u))) != 1 {
+				t.Fatalf("edge %d-%d not a hypercube edge", v, u)
+			}
+		}
+	}
+}
+
+func TestAllReduceNonPowerOfTwoFolds(t *testing.T) {
+	w, _ := NewWorld(10)
+	w.AllReduce(100)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-rank core: 8/2*3 = 12 edges, plus 2 fold edges = 14.
+	if g.NumEdges() != 14 {
+		t.Errorf("edges = %d, want 14", g.NumEdges())
+	}
+}
+
+func TestAllToAllEdgeCount(t *testing.T) {
+	w, _ := NewWorld(6)
+	w.AllToAll(10)
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 15 {
+		t.Errorf("edges = %d, want 15", g.NumEdges())
+	}
+}
+
+func TestLaunchRunRebalance(t *testing.T) {
+	// 256 virtual ranks on 64 processors: virtualization ratio 4, the
+	// AMPI selling point.
+	w, err := NewWorld(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Cart2D(16, 16, 1e5).ComputeAll(20e-6).Barrier()
+	torus := topology.MustTorus(8, 8)
+	job, err := w.Launch(emulator.DefaultMachine(torus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := job.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := job.Rebalance(partition.Multilevel{Seed: 1}, core.TopoLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Error("no ranks migrated from block placement")
+	}
+	after, err := job.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalTime >= before.TotalTime {
+		t.Errorf("rebalance did not help: %v -> %v", before.TotalTime, after.TotalTime)
+	}
+	if job.Graph().NumVertices() != 256 {
+		t.Errorf("graph has %d vertices", job.Graph().NumVertices())
+	}
+}
+
+func TestRebalanceDefaults(t *testing.T) {
+	w, _ := NewWorld(16)
+	w.Cart2D(4, 4, 1e4).ComputeAll(1e-6)
+	job, err := w.Launch(emulator.DefaultMachine(topology.MustTorus(4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Rebalance(nil, nil); err != nil {
+		t.Fatalf("nil defaults: %v", err)
+	}
+}

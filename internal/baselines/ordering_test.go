@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func TestLeeAggarwalBijectionAndQuality(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 100)
+	to := topology.MustTorus(8, 8)
+	m, err := LeeAggarwal{}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, to); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := (core.Random{Seed: 1}).Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, hr := core.HopsPerByte(g, to, m), core.HopsPerByte(g, to, mr)
+	if hl >= hr/2 {
+		t.Errorf("LeeAggarwal %v not well below random %v", hl, hr)
+	}
+}
+
+func TestLeeAggarwalSizeMismatch(t *testing.T) {
+	g := taskgraph.Ring(5, 1)
+	if _, err := (LeeAggarwal{}).Map(g, topology.MustTorus(6)); err == nil {
+		t.Error("want error for size mismatch")
+	}
+}
+
+func TestTauraChienBijectionAndQuality(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 100)
+	to := topology.MustTorus(8, 8)
+	m, err := TauraChien{}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, to); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := (core.Random{Seed: 1}).Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, hr := core.HopsPerByte(g, to, m), core.HopsPerByte(g, to, mr)
+	if ht >= hr {
+		t.Errorf("TauraChien %v not below random %v", ht, hr)
+	}
+}
+
+func TestTauraChienOnRing(t *testing.T) {
+	// A ring ordered linearly onto a ring machine should be near-perfect.
+	g := taskgraph.Ring(16, 50)
+	to := topology.MustTorus(16)
+	m, err := TauraChien{}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpb := core.HopsPerByte(g, to, m); hpb > 2.5 {
+		t.Errorf("ring-on-ring hops/byte = %v, want small", hpb)
+	}
+}
+
+func TestTauraChienNonCoordinatedMachine(t *testing.T) {
+	g := taskgraph.Mesh2D(4, 4, 100)
+	h := topology.MustHypercube(4)
+	m, err := TauraChien{}.Map(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorOrderCoversAllNodes(t *testing.T) {
+	for _, tp := range []topology.Topology{
+		topology.MustTorus(4, 4), topology.MustHypercube(4), topology.MustFatTree(4, 2),
+	} {
+		order := processorOrder(tp)
+		if len(order) != tp.Nodes() {
+			t.Fatalf("%s: order covers %d of %d", tp.Name(), len(order), tp.Nodes())
+		}
+		seen := make(map[int]bool)
+		for _, p := range order {
+			if seen[p] {
+				t.Fatalf("%s: duplicate %d", tp.Name(), p)
+			}
+			seen[p] = true
+		}
+	}
+}

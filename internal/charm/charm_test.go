@@ -1,0 +1,263 @@
+package charm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func testRuntime(t *testing.T, side int) (*Runtime, *emulator.Machine) {
+	t.Helper()
+	g := taskgraph.Mesh2D(side*2, side*2, 1e4) // 4 chares per processor
+	to := topology.MustTorus(side, side)
+	m := emulator.DefaultMachine(to)
+	rt, err := NewRuntime(GraphApp{G: g}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, m
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	to := topology.MustTorus(2, 2)
+	m := emulator.DefaultMachine(to)
+	if _, err := NewRuntime(nil, m); err == nil {
+		t.Error("nil app: want error")
+	}
+	g := taskgraph.Ring(4, 1)
+	if _, err := NewRuntime(GraphApp{G: g}, nil); err == nil {
+		t.Error("nil machine: want error")
+	}
+	if _, err := NewRuntime(GraphApp{G: g}, m, WithInitialPlacement([]int{0})); err == nil {
+		t.Error("short placement: want error")
+	}
+	if _, err := NewRuntime(GraphApp{G: g}, m, WithInitialPlacement([]int{0, 1, 2, 7})); err == nil {
+		t.Error("bad processor: want error")
+	}
+}
+
+func TestDefaultPlacementIsBlock(t *testing.T) {
+	rt, _ := testRuntime(t, 4) // 64 chares on 16 procs
+	pl := rt.Placement()
+	counts := make(map[int]int)
+	for _, p := range pl {
+		counts[p]++
+	}
+	for p := 0; p < 16; p++ {
+		if counts[p] != 4 {
+			t.Errorf("processor %d hosts %d chares, want 4", p, counts[p])
+		}
+	}
+}
+
+func TestDatabaseRequiresInstrumentation(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	if _, err := rt.Database(); err == nil {
+		t.Error("want error before any Run")
+	}
+}
+
+func TestRunAccumulatesInstrumentation(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	res, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("no emulated time")
+	}
+	db, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Chares) != 16 {
+		t.Fatalf("%d chares, want 16", len(db.Chares))
+	}
+	// Unit work × 1µs/unit × 10 iterations.
+	if got := db.Chares[0].Load; math.Abs(got-1e-5) > 1e-12 {
+		t.Errorf("instrumented load = %v, want 1e-5", got)
+	}
+	// Accumulation: another run doubles loads.
+	if _, err := rt.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Chares[0].Load; math.Abs(got-2e-5) > 1e-12 {
+		t.Errorf("accumulated load = %v, want 2e-5", got)
+	}
+}
+
+func TestBalanceImprovesHopBytesAndTime(t *testing.T) {
+	rt, _ := testRuntime(t, 4)
+	before, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := rt.Balance(partition.Multilevel{Seed: 1}, core.TopoLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Step() != 1 {
+		t.Errorf("Step = %d", rt.Step())
+	}
+	if migrated == 0 {
+		t.Error("expected migrations from block placement")
+	}
+	after, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalTime >= before.TotalTime {
+		t.Errorf("balance did not help: %v -> %v", before.TotalTime, after.TotalTime)
+	}
+	if rt.TotalMigrations != migrated {
+		t.Errorf("TotalMigrations = %d, want %d", rt.TotalMigrations, migrated)
+	}
+}
+
+func TestBalanceResetsInstrumentation(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	if _, err := rt.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Balance(partition.Greedy{}, core.TopoCentLB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Database(); err == nil {
+		t.Error("want error: window reset after Balance")
+	}
+}
+
+// statefulApp wraps GraphApp with per-chare counters to exercise PUP-style
+// migration.
+type statefulApp struct {
+	GraphApp
+	state []int
+}
+
+func (a *statefulApp) PackChare(ch int) (any, error) { return a.state[ch], nil }
+func (a *statefulApp) UnpackChare(ch int, s any) error {
+	v, ok := s.(int)
+	if !ok {
+		return fmt.Errorf("bad state type %T", s)
+	}
+	a.state[ch] = v
+	return nil
+}
+
+func TestStatefulMigrationRoundTrips(t *testing.T) {
+	g := taskgraph.Mesh2D(4, 4, 1e4)
+	app := &statefulApp{GraphApp: GraphApp{G: g}, state: make([]int, 16)}
+	for i := range app.state {
+		app.state[i] = i * 7
+	}
+	to := topology.MustTorus(4, 4)
+	rt, err := NewRuntime(app, emulator.DefaultMachine(to), WithInitialPlacement(make([]int, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := rt.Balance(partition.Multilevel{Seed: 2}, core.TopoLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Fatal("no migrations from all-on-proc-0 placement")
+	}
+	if rt.TotalMigratedBytes == 0 {
+		t.Error("no bytes recorded for stateful migration")
+	}
+	for i := range app.state {
+		if app.state[i] != i*7 {
+			t.Errorf("chare %d state corrupted: %d", i, app.state[i])
+		}
+	}
+}
+
+func TestSimulateStepComparesStrategies(t *testing.T) {
+	rt, m := testRuntime(t, 4)
+	if _, err := rt.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := partition.Multilevel{Seed: 1}
+	repTopo, err := SimulateStep(db, m.Topo, part, core.TopoLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRand, err := SimulateStep(db, m.Topo, part, core.Random{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTopo.HopsPerByte >= repRand.HopsPerByte {
+		t.Errorf("TopoLB %v >= random %v hops/byte", repTopo.HopsPerByte, repRand.HopsPerByte)
+	}
+	if repTopo.Strategy != "TopoLB" {
+		t.Errorf("Strategy = %q", repTopo.Strategy)
+	}
+	if repTopo.Imbalance < 1 {
+		t.Errorf("Imbalance = %v < 1", repTopo.Imbalance)
+	}
+	if len(repTopo.Placement) != 64 {
+		t.Errorf("placement length %d", len(repTopo.Placement))
+	}
+}
+
+func TestSimulateStepTopologyMismatch(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	if _, err := rt.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateStep(db, topology.MustTorus(3, 3), partition.Greedy{}, core.TopoLB{}); err == nil {
+		t.Error("want error for processor-count mismatch")
+	}
+}
+
+func TestMapDatabasePlacementConsistent(t *testing.T) {
+	rt, m := testRuntime(t, 2)
+	if _, err := rt.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := MapDatabase(db, m.Topo, partition.Multilevel{Seed: 1}, core.TopoCentLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 16 {
+		t.Fatalf("placement length %d", len(pl))
+	}
+	used := make(map[int]bool)
+	for _, p := range pl {
+		if p < 0 || p >= 4 {
+			t.Fatalf("processor %d out of range", p)
+		}
+		used[p] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("only %d processors used, want 4", len(used))
+	}
+}

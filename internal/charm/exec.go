@@ -1,0 +1,205 @@
+package charm
+
+import (
+	"fmt"
+
+	"repro/internal/lbdb"
+	"repro/internal/netsim"
+)
+
+// The message-driven executor: where App declares a fixed per-iteration
+// pattern, Exec runs *programs* — chares written as Go callbacks that
+// receive messages, compute, and send — over the discrete-event network,
+// in virtual time, until quiescence (no events left). This is the
+// Charm++ §1 execution model in miniature: asynchronous entry-method
+// invocation, per-processor serialization of computation, and message
+// latencies (with contention) from the simulated network.
+
+// Msg is a message delivered to a chare's entry method.
+type Msg struct {
+	From  int
+	Bytes float64
+	// Data is an arbitrary payload (kept in memory; only Bytes crosses
+	// the simulated network).
+	Data any
+}
+
+// Entry is a chare's message handler. It runs in virtual time on the
+// chare's processor; use ctx to compute and send.
+type Entry func(ctx *Ctx, m Msg)
+
+// Ctx is the execution context passed to entry methods.
+type Ctx struct {
+	ex    *Exec
+	chare int
+}
+
+// Chare returns the running chare's id.
+func (c *Ctx) Chare() int { return c.ex.chareOf(c.chare) }
+
+// Now returns the current virtual time in seconds.
+func (c *Ctx) Now() float64 { return c.ex.eng.Now() }
+
+// Compute charges seconds of computation to the chare's processor; any
+// sends issued afterwards in the same entry happen after the computation
+// finishes. Computation on one processor serializes.
+func (c *Ctx) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("charm: negative compute time")
+	}
+	proc := c.ex.placement[c.chare]
+	start := c.ex.eng.Now()
+	if c.ex.cpuFree[proc] > start {
+		start = c.ex.cpuFree[proc]
+	}
+	c.ex.cpuFree[proc] = start + seconds
+	c.ex.sendAfter = c.ex.cpuFree[proc]
+	c.ex.measuredLoad[c.chare] += seconds
+	// Anchor the computation's end in the event queue so quiescence time
+	// includes trailing compute with no message after it.
+	c.ex.eng.Schedule(c.ex.cpuFree[proc], func() {})
+}
+
+// Send delivers bytes (and an in-memory payload) to another chare's entry
+// method through the simulated network.
+func (c *Ctx) Send(to int, bytes float64, data any) {
+	c.ex.send(c.chare, to, bytes, data)
+}
+
+// Exec hosts a set of chares and drives message-driven execution.
+type Exec struct {
+	eng       *netsim.Engine
+	net       *netsim.Network
+	entry     []Entry
+	placement []int
+	cpuFree   []float64
+	sendAfter float64 // earliest send time for the entry being executed
+
+	measuredLoad []float64
+	measuredComm map[[2]int32]float64
+	delivered    int
+}
+
+// NewExec creates an executor for len(entries) chares placed by placement
+// on the network described by cfg.
+func NewExec(entries []Entry, placement []int, cfg netsim.Config) (*Exec, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("charm: no chares")
+	}
+	if len(placement) != len(entries) {
+		return nil, fmt.Errorf("charm: placement has %d entries for %d chares", len(placement), len(entries))
+	}
+	eng := &netsim.Engine{}
+	net, err := netsim.NewNetwork(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	procs := cfg.Topology.Nodes()
+	for i, p := range placement {
+		if p < 0 || p >= procs {
+			return nil, fmt.Errorf("charm: chare %d on processor %d, out of [0,%d)", i, p, procs)
+		}
+	}
+	return &Exec{
+		eng:          eng,
+		net:          net,
+		entry:        entries,
+		placement:    append([]int(nil), placement...),
+		cpuFree:      make([]float64, procs),
+		measuredLoad: make([]float64, len(entries)),
+		measuredComm: make(map[[2]int32]float64),
+	}, nil
+}
+
+func (e *Exec) chareOf(id int) int { return id }
+
+// Inject queues an initial message to a chare at time zero (the "main
+// chare" bootstrap).
+func (e *Exec) Inject(to int, bytes float64, data any) error {
+	if to < 0 || to >= len(e.entry) {
+		return fmt.Errorf("charm: inject to invalid chare %d", to)
+	}
+	e.eng.Schedule(0, func() {
+		e.deliver(-1, to, bytes, data)
+	})
+	return nil
+}
+
+// send transmits a message between chares; co-located chares short-cut
+// the network.
+func (e *Exec) send(from, to int, bytes float64, data any) {
+	if to < 0 || to >= len(e.entry) {
+		panic(fmt.Sprintf("charm: send to invalid chare %d", to))
+	}
+	if bytes < 0 {
+		panic("charm: negative message size")
+	}
+	if from != to {
+		e.measuredComm[commKey(from, to)] += bytes
+	}
+	src, dst := e.placement[from], e.placement[to]
+	at := e.eng.Now()
+	if e.sendAfter > at {
+		at = e.sendAfter // sends follow the entry's Compute calls
+	}
+	e.eng.Schedule(at, func() {
+		if src == dst {
+			e.deliver(from, to, bytes, data)
+			return
+		}
+		e.net.Send(src, dst, bytes, func() {
+			e.deliver(from, to, bytes, data)
+		})
+	})
+}
+
+// deliver invokes the destination chare's entry method, serializing on
+// its processor's CPU.
+func (e *Exec) deliver(from, to int, bytes float64, data any) {
+	proc := e.placement[to]
+	start := e.eng.Now()
+	if e.cpuFree[proc] > start {
+		start = e.cpuFree[proc]
+	}
+	e.eng.Schedule(start, func() {
+		e.delivered++
+		saved := e.sendAfter
+		e.sendAfter = e.eng.Now()
+		e.entry[to](&Ctx{ex: e, chare: to}, Msg{From: from, Bytes: bytes, Data: data})
+		e.sendAfter = saved
+	})
+}
+
+// Run executes until quiescence (no pending events) and returns the final
+// virtual time.
+func (e *Exec) Run() float64 { return e.eng.Run() }
+
+// Delivered returns the number of entry-method invocations.
+func (e *Exec) Delivered() int { return e.delivered }
+
+// MeasuredLoad returns per-chare accumulated compute seconds — the same
+// instrumentation the LB framework records.
+func (e *Exec) MeasuredLoad() []float64 {
+	return append([]float64(nil), e.measuredLoad...)
+}
+
+// Database converts the executor's measurements into an LB database, so
+// message-driven programs feed the same +LBSim pipeline declarative apps
+// do.
+func (e *Exec) Database() (*lbdb.Database, error) {
+	db := &lbdb.Database{
+		NumProcs: len(e.cpuFree),
+		Chares:   make([]lbdb.ChareStats, len(e.entry)),
+	}
+	for i := range db.Chares {
+		db.Chares[i] = lbdb.ChareStats{Load: e.measuredLoad[i], Proc: e.placement[i]}
+	}
+	for k, bytes := range e.measuredComm {
+		db.Comms = append(db.Comms, lbdb.Comm{From: k[0], To: k[1], Bytes: bytes})
+	}
+	sortComms(db.Comms)
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,217 @@
+package charm
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func execConfig() netsim.Config {
+	return netsim.Config{
+		Topology:      topology.MustTorus(4, 4),
+		LinkBandwidth: 1e8,
+		LinkLatency:   1e-7,
+	}
+}
+
+func TestNewExecValidation(t *testing.T) {
+	cfg := execConfig()
+	if _, err := NewExec(nil, nil, cfg); err == nil {
+		t.Error("no chares: want error")
+	}
+	e := func(*Ctx, Msg) {}
+	if _, err := NewExec([]Entry{e, e}, []int{0}, cfg); err == nil {
+		t.Error("short placement: want error")
+	}
+	if _, err := NewExec([]Entry{e}, []int{99}, cfg); err == nil {
+		t.Error("bad processor: want error")
+	}
+	if _, err := NewExec([]Entry{e}, []int{0}, netsim.Config{}); err == nil {
+		t.Error("bad network config: want error")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two chares on adjacent processors bounce a message 10 times; the
+	// run ends at quiescence with 11 deliveries (1 inject + 10 bounces).
+	const rounds = 10
+	var ex *Exec
+	entry := func(ctx *Ctx, m Msg) {
+		n := m.Data.(int)
+		if n >= rounds {
+			return
+		}
+		ctx.Send(1-ctx.Chare(), 1000, n+1)
+	}
+	ex, err := NewExec([]Entry{entry, entry}, []int{0, 1}, execConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Inject(0, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	end := ex.Run()
+	if ex.Delivered() != rounds+1 {
+		t.Errorf("delivered %d, want %d", ex.Delivered(), rounds+1)
+	}
+	// Each network hop costs 1000/1e8 + 1e-7 = 1.01e-5 s; 10 crossings.
+	want := 10 * (1000/1e8 + 1e-7)
+	if diff := end - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("end time %v, want %v", end, want)
+	}
+}
+
+func TestComputeSerializesOnProcessor(t *testing.T) {
+	// Two chares on the same processor each compute 1 ms when poked:
+	// total virtual time is 2 ms, and measured loads are recorded.
+	entry := func(ctx *Ctx, m Msg) { ctx.Compute(1e-3) }
+	ex, err := NewExec([]Entry{entry, entry}, []int{0, 0}, execConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Inject(0, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Inject(1, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	end := ex.Run()
+	if diff := end - 2e-3; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("end time %v, want 2ms (serialized)", end)
+	}
+	loads := ex.MeasuredLoad()
+	if loads[0] != 1e-3 || loads[1] != 1e-3 {
+		t.Errorf("loads = %v", loads)
+	}
+}
+
+func TestSendsWaitForCompute(t *testing.T) {
+	// A chare computes 1 ms then sends; the recipient must not see the
+	// message before 1 ms + transit.
+	var receivedAt float64
+	sender := func(ctx *Ctx, m Msg) {
+		ctx.Compute(1e-3)
+		ctx.Send(1, 100, nil)
+	}
+	receiver := func(ctx *Ctx, m Msg) { receivedAt = ctx.Now() }
+	ex, err := NewExec([]Entry{sender, receiver}, []int{0, 1}, execConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Inject(0, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	ex.Run()
+	if receivedAt < 1e-3 {
+		t.Errorf("message received at %v, before the 1ms compute finished", receivedAt)
+	}
+}
+
+func TestMessageDrivenJacobiConverges(t *testing.T) {
+	// A real message-driven program: 16 chares run Jacobi sweeps until a
+	// fixed iteration budget, driven purely by message arrival (no global
+	// barrier). Each chare tracks per-iteration neighbor counts.
+	const (
+		side  = 4
+		iters = 20
+	)
+	n := side * side
+	neighbors := func(v int) []int {
+		x, y := v/side, v%side
+		var out []int
+		if x > 0 {
+			out = append(out, v-side)
+		}
+		if x < side-1 {
+			out = append(out, v+side)
+		}
+		if y > 0 {
+			out = append(out, v-1)
+		}
+		if y < side-1 {
+			out = append(out, v+1)
+		}
+		return out
+	}
+	iter := make([]int, n)
+	recv := make([][]int, n)
+	for i := range recv {
+		recv[i] = make([]int, iters+1)
+	}
+	entries := make([]Entry, n)
+	for v := 0; v < n; v++ {
+		entries[v] = func(ctx *Ctx, m Msg) {
+			me := ctx.Chare()
+			if m.Data != nil {
+				recv[me][m.Data.(int)]++
+			}
+			// Advance while dependencies for the next iteration hold.
+			for iter[me] < iters {
+				k := iter[me]
+				if k > 0 && recv[me][k-1] < len(neighbors(me)) {
+					return
+				}
+				ctx.Compute(10e-6)
+				for _, u := range neighbors(me) {
+					ctx.Send(u, 4096, k)
+				}
+				iter[me]++
+			}
+		}
+	}
+	placement := make([]int, n)
+	for i := range placement {
+		placement[i] = i
+	}
+	ex, err := NewExec(entries, placement, execConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if err := ex.Inject(v, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := ex.Run()
+	for v := 0; v < n; v++ {
+		if iter[v] != iters {
+			t.Fatalf("chare %d stalled at iteration %d", v, iter[v])
+		}
+	}
+	if end <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	// Measurements feed the LB pipeline.
+	db, err := ex.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Comms) == 0 {
+		t.Error("no communication recorded")
+	}
+	g, err := db.TaskGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Errorf("graph has %d vertices", g.NumVertices())
+	}
+}
+
+func TestExecSendPanicsOnBadDestination(t *testing.T) {
+	entry := func(ctx *Ctx, m Msg) { ctx.Send(99, 1, nil) }
+	ex, err := NewExec([]Entry{entry}, []int{0}, execConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Inject(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for invalid destination")
+		}
+	}()
+	ex.Run()
+}

@@ -1,0 +1,175 @@
+package charm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func TestRunSimulatedCompletes(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	res, err := rt.RunSimulated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime <= 0 || res.Net.MessagesDelivered == 0 {
+		t.Errorf("empty simulation result: %+v", res)
+	}
+	// Instrumentation accumulated, so a database can be dumped.
+	if _, err := rt.Database(); err != nil {
+		t.Errorf("no instrumentation after RunSimulated: %v", err)
+	}
+}
+
+func TestRunSimulatedBetterMappingFinishesSooner(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 5e4)
+	to := topology.MustTorus(4, 4, 4)
+	m := emulator.DefaultMachine(to)
+	mTopo, err := (core.TopoLB{}).Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRand, err := (core.Random{Seed: 2}).Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pl []int) float64 {
+		rt, err := NewRuntime(GraphApp{G: g}, m, WithInitialPlacement(pl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.RunSimulated(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CompletionTime
+	}
+	if tT, tR := run(mTopo), run(mRand); tT >= tR {
+		t.Errorf("TopoLB simulated completion %v >= random %v", tT, tR)
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	rt, m := testRuntime(t, 2)
+	if _, err := rt.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Balance(partition.Multilevel{Seed: 1}, core.TopoLB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh runtime restored from the checkpoint matches placement,
+	// step, and instrumentation window.
+	g := taskgraph.Mesh2D(4, 4, 1e4)
+	rt2, err := NewRuntime(GraphApp{G: g}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Step() != rt.Step() {
+		t.Errorf("step %d vs %d", rt2.Step(), rt.Step())
+	}
+	p1, p2 := rt.Placement(), rt2.Placement()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("placement diverges at chare %d", i)
+		}
+	}
+	db1, err := rt.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rt2.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db1.Comms) != len(db2.Comms) || db1.Chares[3].Load != db2.Chares[3].Load {
+		t.Error("instrumentation window not restored")
+	}
+}
+
+func TestRestoreRejectsBadCheckpoints(t *testing.T) {
+	rt, _ := testRuntime(t, 2)
+	if err := rt.Restore(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream: want error")
+	}
+	// Checkpoint from a different-sized app.
+	big, _ := testRuntime(t, 4)
+	var buf bytes.Buffer
+	if err := big.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Restore(&buf); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+}
+
+// driftApp halves or doubles chare work between LB steps, emulating a
+// simulation whose load distribution evolves (the reason Charm++
+// rebalances periodically).
+type driftApp struct {
+	GraphApp
+	phase int
+}
+
+func (a *driftApp) Work(chare int) float64 {
+	if (chare+a.phase)%2 == 0 {
+		return 4
+	}
+	return 1
+}
+
+func TestPeriodicRebalancingTracksDrift(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 1e4)
+	to := topology.MustTorus(4, 4)
+	app := &driftApp{GraphApp: GraphApp{G: g}}
+	rt, err := NewRuntime(app, emulator.DefaultMachine(to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: run, balance for the current distribution.
+	if _, err := rt.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Balance(partition.Multilevel{Seed: 1}, core.TopoLB{}); err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load shifts: the balanced placement is now wrong.
+	app.phase = 1
+	drifted, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.ComputePhase <= balanced.ComputePhase {
+		t.Skip("drift did not unbalance this configuration")
+	}
+	// Rebalancing recovers.
+	if _, err := rt.Balance(partition.Multilevel{Seed: 2}, core.TopoLB{}); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := rt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.TotalTime >= drifted.TotalTime {
+		t.Errorf("rebalance after drift did not help: %v -> %v", drifted.TotalTime, recovered.TotalTime)
+	}
+}

@@ -1,0 +1,208 @@
+// Package cliutil parses the shared command-line specification syntax of
+// the repository's tools: topology specs ("torus:8,8,8"), task-graph
+// pattern specs ("mesh2d:16,16"), workload specs, and strategy names.
+// Keeping the grammar in one place makes cmd/topomap, cmd/netsim, and
+// cmd/lbsim accept identical vocabulary.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// ParseInts parses a comma-separated integer list.
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseTopology parses a routing-capable topology spec:
+//
+//	torus:D1,D2[,...] | mesh:D1[,...] | hypercube:D
+//
+// Fat-trees are rejected here because they do not expose per-link routes;
+// use ParseAnyTopology where routing is not required.
+func ParseTopology(spec string) (topology.Router, error) {
+	kind, dims, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "torus":
+		return topology.NewTorus(dims...)
+	case "mesh":
+		return topology.NewMesh(dims...)
+	case "hypercube":
+		if len(dims) != 1 {
+			return nil, fmt.Errorf("cliutil: hypercube takes one dimension, got %v", dims)
+		}
+		return topology.NewHypercube(dims[0])
+	case "fattree":
+		return nil, fmt.Errorf("cliutil: fat-trees do not support per-link routing; use torus/mesh/hypercube")
+	default:
+		return nil, fmt.Errorf("cliutil: unknown topology kind %q", kind)
+	}
+}
+
+// ParseAnyTopology additionally accepts fattree:K,L for metric-only use.
+func ParseAnyTopology(spec string) (topology.Topology, error) {
+	kind, dims, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "fattree" {
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("cliutil: fattree takes arity,levels, got %v", dims)
+		}
+		return topology.NewFatTree(dims[0], dims[1])
+	}
+	return ParseTopology(spec)
+}
+
+// ParsePattern parses a task-graph pattern spec:
+//
+//	mesh2d:RX,RY | mesh3d:RX,RY,RZ | ring:N | alltoall:N |
+//	torus2d:RX,RY | leanmd:P | random:N,M | stencil9:RX,RY |
+//	transpose:N | bintree:N | butterfly:STAGES | wavefront:RX,RY
+//
+// msg sets the per-edge bytes; seed drives randomized generators.
+func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error) {
+	kind, args, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the requested size before handing extents to the builders
+	// (which panic on non-positive extents by contract).
+	size := 1
+	for _, a := range args {
+		if a < 1 {
+			return nil, fmt.Errorf("cliutil: pattern extent %d must be >= 1", a)
+		}
+		if size > 1<<22/a {
+			return nil, fmt.Errorf("cliutil: pattern %q too large (> 2^22 tasks)", spec)
+		}
+		size *= a
+	}
+	switch {
+	case kind == "mesh2d" && len(args) == 2:
+		return taskgraph.Mesh2D(args[0], args[1], msg), nil
+	case kind == "mesh3d" && len(args) == 3:
+		return taskgraph.Mesh3D(args[0], args[1], args[2], msg), nil
+	case kind == "ring" && len(args) == 1:
+		return taskgraph.Ring(args[0], msg), nil
+	case kind == "torus2d" && len(args) == 2:
+		return taskgraph.Torus2D(args[0], args[1], msg), nil
+	case kind == "alltoall" && len(args) == 1:
+		return taskgraph.AllToAll(args[0], msg), nil
+	case kind == "leanmd" && len(args) == 1:
+		return taskgraph.LeanMD(args[0], msg, seed), nil
+	case kind == "random" && len(args) == 2:
+		return taskgraph.Random(args[0], args[1], msg/2, msg, seed), nil
+	case kind == "stencil9" && len(args) == 2:
+		return taskgraph.Stencil9(args[0], args[1], msg), nil
+	case kind == "transpose" && len(args) == 1:
+		return taskgraph.Transpose(args[0], msg), nil
+	case kind == "bintree" && len(args) == 1:
+		return taskgraph.BinaryTree(args[0], msg), nil
+	case kind == "butterfly" && len(args) == 1:
+		return taskgraph.Butterfly(args[0], msg), nil
+	case kind == "wavefront" && len(args) == 2:
+		return taskgraph.Wavefront(args[0], args[1], msg), nil
+	default:
+		return nil, fmt.Errorf("cliutil: unknown pattern %q", spec)
+	}
+}
+
+// StrategyNames lists the names ParseStrategy accepts.
+func StrategyNames() []string {
+	return []string{"topolb", "topolb1", "topolb3", "topolb+refine",
+		"topocentlb", "random", "identity", "bokhari", "annealing",
+		"genetic", "arm", "hybrid:BXxBY[x...]"}
+}
+
+// ParseStrategy resolves a strategy name (see StrategyNames). The hybrid
+// strategy takes its block shape inline with "x" separators —
+// "hybrid:4x4" — so hybrid specs survive comma-separated strategy lists.
+func ParseStrategy(name string, seed int64) (core.Strategy, error) {
+	if rest, ok := strings.CutPrefix(name, "hybrid:"); ok {
+		var block []int
+		for _, part := range strings.Split(rest, "x") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("cliutil: bad hybrid block %q (want e.g. hybrid:4x4)", rest)
+			}
+			block = append(block, v)
+		}
+		return hybrid.Hybrid{Block: block, Seed: seed}, nil
+	}
+	switch name {
+	case "topolb":
+		return core.TopoLB{}, nil
+	case "topolb1":
+		return core.TopoLB{Order: core.OrderFirst}, nil
+	case "topolb3":
+		return core.TopoLB{Order: core.OrderThird}, nil
+	case "topolb+refine":
+		return core.RefineTopoLB{Base: core.TopoLB{}}, nil
+	case "topocentlb":
+		return core.TopoCentLB{}, nil
+	case "random":
+		return core.Random{Seed: seed}, nil
+	case "identity":
+		return core.Identity{}, nil
+	case "bokhari":
+		return baselines.Bokhari{Seed: seed}, nil
+	case "annealing":
+		return baselines.Annealing{Seed: seed}, nil
+	case "genetic":
+		return baselines.Genetic{Seed: seed}, nil
+	case "arm":
+		return baselines.ARM{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("cliutil: unknown strategy %q (known: %s)",
+			name, strings.Join(StrategyNames(), ", "))
+	}
+}
+
+// ParseStrategies resolves a comma-separated strategy list.
+func ParseStrategies(list string, seed int64) ([]core.Strategy, error) {
+	var out []core.Strategy
+	for _, name := range strings.Split(list, ",") {
+		s, err := ParseStrategy(strings.TrimSpace(name), seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty strategy list")
+	}
+	return out, nil
+}
+
+func splitSpec(spec string) (string, []int, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return "", nil, fmt.Errorf("cliutil: spec %q needs kind:params", spec)
+	}
+	args, err := ParseInts(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	return kind, args, nil
+}

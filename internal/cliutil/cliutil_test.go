@@ -1,0 +1,140 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 4 || got[1] != 8 || got[2] != 16 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseInts("4,x"); err == nil {
+		t.Error("want error for non-integer")
+	}
+	if _, err := ParseInts(""); err == nil {
+		t.Error("want error for empty string")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := map[string]struct {
+		nodes int
+		name  string
+	}{
+		"torus:4,4":   {16, "torus(4,4)"},
+		"mesh:2,3,4":  {24, "mesh(2,3,4)"},
+		"hypercube:5": {32, "hypercube(5)"},
+	}
+	for spec, want := range cases {
+		tp, err := ParseTopology(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if tp.Nodes() != want.nodes || tp.Name() != want.name {
+			t.Errorf("%s: got %s with %d nodes", spec, tp.Name(), tp.Nodes())
+		}
+	}
+	for _, bad := range []string{"torus", "ring:4", "hypercube:3,3", "fattree:4,2", "torus:0"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("%s: want error", bad)
+		}
+	}
+}
+
+func TestParseAnyTopologyFatTree(t *testing.T) {
+	tp, err := ParseAnyTopology("fattree:4,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Nodes() != 64 {
+		t.Errorf("nodes = %d", tp.Nodes())
+	}
+	if _, err := ParseAnyTopology("fattree:4"); err == nil {
+		t.Error("want error for one-arg fattree")
+	}
+	if _, err := ParseAnyTopology("torus:3,3"); err != nil {
+		t.Errorf("torus via ParseAnyTopology: %v", err)
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]int{
+		"mesh2d:4,4":   16,
+		"mesh3d:2,3,4": 24,
+		"ring:9":       9,
+		"torus2d:3,3":  9,
+		"alltoall:5":   5,
+		"leanmd:4":     3244,
+		"random:20,60": 20,
+	}
+	for spec, n := range cases {
+		g, err := ParsePattern(spec, 1000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if g.NumVertices() != n {
+			t.Errorf("%s: %d vertices, want %d", spec, g.NumVertices(), n)
+		}
+	}
+	for _, bad := range []string{"mesh2d:4", "unknown:1", "ring", "mesh3d:1,2"} {
+		if _, err := ParsePattern(bad, 1000, 1); err == nil {
+			t.Errorf("%s: want error", bad)
+		}
+	}
+}
+
+func TestParseStrategyAll(t *testing.T) {
+	for _, name := range []string{"topolb", "topolb1", "topolb3", "topolb+refine",
+		"topocentlb", "random", "identity", "bokhari", "annealing", "genetic", "arm"} {
+		s, err := ParseStrategy(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+	}
+	if _, err := ParseStrategy("nope", 1); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	if !strings.Contains(ParseStrategyErr(), "topolb") {
+		t.Error("error should list known strategies")
+	}
+}
+
+// ParseStrategyErr returns the error text for an unknown name.
+func ParseStrategyErr() string {
+	_, err := ParseStrategy("nope", 1)
+	return err.Error()
+}
+
+func TestParseStrategyHybrid(t *testing.T) {
+	s, err := ParseStrategy("hybrid:4x4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Hybrid[4 4]" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	if _, err := ParseStrategy("hybrid:x", 1); err == nil {
+		t.Error("want error for bad hybrid block")
+	}
+}
+
+func TestParseStrategies(t *testing.T) {
+	out, err := ParseStrategies("topolb, random ,topocentlb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d strategies", len(out))
+	}
+	if _, err := ParseStrategies("topolb,bogus", 1); err == nil {
+		t.Error("want error for bogus entry")
+	}
+}

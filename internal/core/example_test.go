@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// ExampleTopoLB maps the paper's benchmark pattern onto a torus and
+// reaches the optimal hops-per-byte of 1.0.
+func ExampleTopoLB() {
+	tasks := taskgraph.Mesh2D(8, 8, 1<<20)
+	machine := topology.MustTorus(8, 8)
+	m, err := core.TopoLB{}.Map(tasks, machine)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", core.HopsPerByte(tasks, machine, m))
+	// Output: 1.0
+}
+
+// ExampleRefineTopoLB shows refinement layered over a base strategy.
+func ExampleRefineTopoLB() {
+	tasks := taskgraph.Mesh2D(4, 4, 1000)
+	machine := topology.MustTorus(4, 4)
+	s := core.RefineTopoLB{Base: core.TopoCentLB{}}
+	m, err := s.Map(tasks, machine)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name(), m.Validate(tasks, machine) == nil)
+	// Output: TopoCentLB+Refine true
+}
+
+// ExampleHopBytes computes the metric directly for a hand-built graph.
+func ExampleHopBytes() {
+	// Two tasks exchanging 100 bytes, placed on opposite corners of a
+	// 3x3 mesh: 4 hops x 100 bytes.
+	g := taskgraph.NewBuilder(9).AddEdge(0, 8, 100).Build("pair")
+	machine := topology.MustMesh(3, 3)
+	m, _ := core.Identity{}.Map(g, machine)
+	fmt.Println(core.HopBytes(g, machine, m))
+	// Output: 400
+}

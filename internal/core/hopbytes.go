@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// HopBytes returns the paper's evaluation metric (§3):
+//
+//	HB(Gt, Gp, P) = Σ_{e_ab ∈ Et} c_ab · d_p(P(a), P(b))
+//
+// i.e. every communicated byte weighted by the number of network links it
+// must cross under mapping m.
+func HopBytes(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
+	hb := 0.0
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, w := g.Neighbors(v)
+		pv := m[v]
+		for i, u := range adj {
+			if int32(v) < u {
+				hb += w[i] * float64(t.Distance(pv, m[u]))
+			}
+		}
+	}
+	return hb
+}
+
+// TaskHopBytes returns HB(v), the hop-bytes due to a single task's edges.
+// The overall hop-bytes is half the sum of TaskHopBytes over all tasks.
+func TaskHopBytes(g *taskgraph.Graph, t topology.Topology, m Mapping, v int) float64 {
+	adj, w := g.Neighbors(v)
+	hb := 0.0
+	for i, u := range adj {
+		hb += w[i] * float64(t.Distance(m[v], m[u]))
+	}
+	return hb
+}
+
+// HopsPerByte returns HopBytes divided by the total communication volume —
+// the average number of links each byte crosses. The paper reports this
+// normalized form in Figures 1–6. Returns 0 for graphs with no
+// communication.
+func HopsPerByte(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
+	total := g.TotalComm()
+	if total == 0 {
+		return 0
+	}
+	return HopBytes(g, t, m) / total
+}

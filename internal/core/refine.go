@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// RefineTopoLB is the paper's topology-aware refiner (§5.2.3): starting
+// from an existing mapping it repeatedly examines task pairs and swaps
+// their processors whenever the swap strictly reduces hop-bytes, sweeping
+// until a full pass finds no improving swap (or MaxPasses is reached). It
+// is intended to run after an initial strategy such as TopoLB.
+type RefineTopoLB struct {
+	// Base produces the initial mapping. Required.
+	Base Strategy
+	// MaxPasses bounds the number of full sweeps; zero means 8.
+	MaxPasses int
+}
+
+// Name implements Strategy.
+func (r RefineTopoLB) Name() string {
+	if r.Base == nil {
+		return "RefineTopoLB"
+	}
+	return r.Base.Name() + "+Refine"
+}
+
+// Map implements Strategy: run Base, then refine.
+func (r RefineTopoLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	if r.Base == nil {
+		return nil, fmt.Errorf("core: RefineTopoLB requires a Base strategy")
+	}
+	m, err := r.Base.Map(g, t)
+	if err != nil {
+		return nil, err
+	}
+	Refine(g, t, m, r.maxPasses())
+	return m, nil
+}
+
+func (r RefineTopoLB) maxPasses() int {
+	if r.MaxPasses <= 0 {
+		return 8
+	}
+	return r.MaxPasses
+}
+
+// Refine improves mapping m in place by pairwise swaps, each accepted only
+// if it strictly reduces hop-bytes. To keep sweeps near-linear in the
+// number of edges, candidate pairs are (task, neighbor-of-task's-processor
+// occupant) and (task, communication partner) — the pairs with any chance
+// of first-order improvement — plus a full quadratic sweep when p is
+// small. Returns the number of swaps performed.
+func Refine(g *taskgraph.Graph, t topology.Topology, m Mapping, maxPasses int) int {
+	n := len(m)
+	occupant := make([]int, n) // processor -> task
+	for task, proc := range m {
+		occupant[proc] = task
+	}
+	swaps := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := 0
+		for a := 0; a < n; a++ {
+			// Candidate partners: occupants of processors adjacent to a's
+			// current processor, plus a's communication partners.
+			for _, pn := range t.Neighbors(m[a]) {
+				if trySwap(g, t, m, occupant, a, occupant[pn]) {
+					improved++
+				}
+			}
+			adj, _ := g.Neighbors(a)
+			for _, u := range adj {
+				if trySwap(g, t, m, occupant, a, int(u)) {
+					improved++
+				}
+			}
+			if n <= 256 {
+				for b := a + 1; b < n; b++ {
+					if trySwap(g, t, m, occupant, a, b) {
+						improved++
+					}
+				}
+			}
+		}
+		swaps += improved
+		if improved == 0 {
+			break
+		}
+	}
+	return swaps
+}
+
+// swapDelta returns the hop-bytes change from swapping the processors of
+// tasks a and b (negative is better). The a–b edge itself, if any,
+// contributes identically before and after and is skipped.
+func swapDelta(g *taskgraph.Graph, t topology.Topology, m Mapping, a, b int) float64 {
+	pa, pb := m[a], m[b]
+	delta := 0.0
+	adjA, wA := g.Neighbors(a)
+	for i, u := range adjA {
+		if int(u) == b {
+			continue
+		}
+		pu := m[u]
+		delta += wA[i] * float64(t.Distance(pb, pu)-t.Distance(pa, pu))
+	}
+	adjB, wB := g.Neighbors(b)
+	for i, u := range adjB {
+		if int(u) == a {
+			continue
+		}
+		pu := m[u]
+		delta += wB[i] * float64(t.Distance(pa, pu)-t.Distance(pb, pu))
+	}
+	return delta
+}
+
+// trySwap performs the swap if it strictly reduces hop-bytes.
+func trySwap(g *taskgraph.Graph, t topology.Topology, m Mapping, occupant []int, a, b int) bool {
+	if a == b {
+		return false
+	}
+	if swapDelta(g, t, m, a, b) >= -1e-12 {
+		return false
+	}
+	m[a], m[b] = m[b], m[a]
+	occupant[m[a]] = a
+	occupant[m[b]] = b
+	return true
+}

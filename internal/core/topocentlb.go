@@ -1,0 +1,136 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// TopoCentLB is the simpler comparator strategy (§4.5): the first cycle
+// places the most-communicating task on the most central free processor;
+// each subsequent cycle extracts the task with the maximum total
+// communication to already-placed tasks (a max-heap keyed by that value)
+// and places it on the free processor where the first-order communication
+// cost — hop-bytes to placed neighbors — is minimal. Equivalent to Baba et
+// al.'s (P3,P4) heuristic; total running time O(p·|Et|).
+type TopoCentLB struct{}
+
+// Name implements Strategy.
+func (TopoCentLB) Name() string { return "TopoCentLB" }
+
+// taskHeap is a max-heap over key with index tracking for heap.Fix.
+type taskHeap struct {
+	key  []float64 // key per task id
+	heap []int     // heap of task ids
+	pos  []int     // pos[task] = index in heap, -1 once extracted
+}
+
+func (h *taskHeap) Len() int { return len(h.heap) }
+func (h *taskHeap) Less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.key[a] != h.key[b] {
+		return h.key[a] > h.key[b]
+	}
+	return a < b
+}
+func (h *taskHeap) Swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+func (h *taskHeap) Push(x any) {
+	v := x.(int)
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+}
+func (h *taskHeap) Pop() any {
+	n := len(h.heap) - 1
+	v := h.heap[n]
+	h.heap = h.heap[:n]
+	h.pos[v] = -1
+	return v
+}
+
+// Map implements Strategy.
+func (TopoCentLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	if err := checkSizes(g, t); err != nil {
+		return nil, err
+	}
+	n := t.Nodes()
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = -1
+	}
+	procFree := make([]bool, n)
+	for p := range procFree {
+		procFree[p] = true
+	}
+
+	// First cycle: the most-communicating task goes to the most central
+	// free processor (minimum total distance to the rest of the machine).
+	first := 0
+	for v := 1; v < n; v++ {
+		if g.WeightedDegree(v) > g.WeightedDegree(first) {
+			first = v
+		}
+	}
+	totalDist := make([]float64, n)
+	topology.TotalDistances(t, totalDist)
+	center := 0
+	for p := 1; p < n; p++ {
+		if totalDist[p] < totalDist[center] {
+			center = p
+		}
+	}
+	m[first] = center
+	procFree[center] = false
+
+	// Remaining tasks keyed by communication with already-placed tasks.
+	h := &taskHeap{key: make([]float64, n), pos: make([]int, n)}
+	for v := 0; v < n; v++ {
+		if v != first {
+			h.pos[v] = len(h.heap)
+			h.heap = append(h.heap, v)
+		} else {
+			h.pos[v] = -1
+		}
+	}
+	adj, w := g.Neighbors(first)
+	for i, u := range adj {
+		h.key[u] = w[i]
+	}
+	heap.Init(h)
+
+	for h.Len() > 0 {
+		tk := heap.Pop(h).(int)
+		// Place tk on the free processor minimizing the first-order cost:
+		// hop-bytes to its already-placed neighbors.
+		adj, w := g.Neighbors(tk)
+		pk, minCost := -1, 0.0
+		for p := 0; p < n; p++ {
+			if !procFree[p] {
+				continue
+			}
+			cost := 0.0
+			for i, u := range adj {
+				if pu := m[u]; pu >= 0 {
+					cost += w[i] * float64(t.Distance(p, pu))
+				}
+			}
+			if pk < 0 || cost < minCost {
+				pk, minCost = p, cost
+			}
+		}
+		m[tk] = pk
+		procFree[pk] = false
+		// The placement raises the keys of tk's still-unplaced neighbors.
+		for i, u := range adj {
+			if h.pos[u] >= 0 {
+				h.key[u] += w[i]
+				heap.Fix(h, h.pos[u])
+			}
+		}
+	}
+	return m, nil
+}

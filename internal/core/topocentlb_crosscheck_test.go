@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// referenceTopoCentLB is the obviously-correct restatement of §4.5: no
+// heap, no incremental keys — every cycle rescans all unplaced tasks for
+// the one with maximum communication to placed tasks (ties to the lowest
+// id) and all free processors for the cheapest first-order cost.
+func referenceTopoCentLB(g *taskgraph.Graph, t topology.Topology) Mapping {
+	n := t.Nodes()
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = -1
+	}
+	procFree := make([]bool, n)
+	for p := range procFree {
+		procFree[p] = true
+	}
+	// First: most-communicating task on the most central processor.
+	first := 0
+	for v := 1; v < n; v++ {
+		if g.WeightedDegree(v) > g.WeightedDegree(first) {
+			first = v
+		}
+	}
+	totalDist := make([]float64, n)
+	topology.TotalDistances(t, totalDist)
+	center := 0
+	for p := 1; p < n; p++ {
+		if totalDist[p] < totalDist[center] {
+			center = p
+		}
+	}
+	m[first] = center
+	procFree[center] = false
+	for placed := 1; placed < n; placed++ {
+		tk, bestKey := -1, -1.0
+		for v := 0; v < n; v++ {
+			if m[v] >= 0 {
+				continue
+			}
+			key := 0.0
+			adj, w := g.Neighbors(v)
+			for i, u := range adj {
+				if m[u] >= 0 {
+					key += w[i]
+				}
+			}
+			if key > bestKey {
+				tk, bestKey = v, key
+			}
+		}
+		adj, w := g.Neighbors(tk)
+		pk, minCost := -1, 0.0
+		for p := 0; p < n; p++ {
+			if !procFree[p] {
+				continue
+			}
+			cost := 0.0
+			for i, u := range adj {
+				if pu := m[u]; pu >= 0 {
+					cost += w[i] * float64(t.Distance(p, pu))
+				}
+			}
+			if pk < 0 || cost < minCost {
+				pk, minCost = p, cost
+			}
+		}
+		m[tk] = pk
+		procFree[pk] = false
+	}
+	return m
+}
+
+// TestTopoCentLBMatchesBruteForceReference: the heap-based implementation
+// must pick the same task/processor sequence as the rescan-everything
+// reference on many random integer-weighted instances.
+func TestTopoCentLBMatchesBruteForceReference(t *testing.T) {
+	shapes := []topology.Topology{
+		topology.MustTorus(3, 3), topology.MustMesh(4, 3), topology.MustTorus(2, 2, 3),
+	}
+	for _, to := range shapes {
+		n := to.Nodes()
+		for seed := int64(0); seed < 10; seed++ {
+			g := integerize(taskgraph.Random(n, n*2, 1, 16, seed))
+			fast, err := TopoCentLB{}.Map(g, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := referenceTopoCentLB(g, to)
+			hbFast, hbRef := HopBytes(g, to, fast), HopBytes(g, to, ref)
+			if diff := hbFast - hbRef; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s seed %d: heap HB %v != reference HB %v", to.Name(), seed, hbFast, hbRef)
+			}
+			for v := range fast {
+				if fast[v] != ref[v] {
+					t.Errorf("%s seed %d: placement diverges at task %d (%d vs %d)",
+						to.Name(), seed, v, fast[v], ref[v])
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Order selects TopoLB's estimation function (§4.3).
+type Order int
+
+const (
+	// OrderFirst considers only communication with already-placed tasks.
+	OrderFirst Order = 1
+	// OrderSecond additionally approximates each unplaced neighbor as
+	// uniformly random over all processors. The paper's default: best
+	// quality-for-cost at O(p·|Et|) total running time.
+	OrderSecond Order = 2
+	// OrderThird approximates unplaced neighbors as uniformly random over
+	// the still-available processors; O(p³) total running time.
+	OrderThird Order = 3
+)
+
+// TopoLB is the paper's mapping heuristic (§4, Algorithm 1). In each of p
+// cycles it computes, for every unplaced task, the gain
+//
+//	gain(t) = avg_{p free} fest(t,p) − min_{p free} fest(t,p)
+//
+// — how much the task stands to lose if it is deferred and later lands on
+// an arbitrary processor — selects the task with maximum gain, and places
+// it on the free processor where fest is minimal.
+type TopoLB struct {
+	// Order selects the estimation function; zero means OrderSecond.
+	Order Order
+}
+
+// Name implements Strategy.
+func (s TopoLB) Name() string {
+	switch s.Order {
+	case OrderFirst:
+		return "TopoLB(order=1)"
+	case OrderThird:
+		return "TopoLB(order=3)"
+	default:
+		return "TopoLB"
+	}
+}
+
+// Map implements Strategy.
+func (s TopoLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	if err := checkSizes(g, t); err != nil {
+		return nil, err
+	}
+	order := s.Order
+	if order == 0 {
+		order = OrderSecond
+	}
+	if order < OrderFirst || order > OrderThird {
+		return nil, fmt.Errorf("core: invalid estimation order %d", order)
+	}
+	if order == OrderThird {
+		return s.mapThirdOrder(g, t)
+	}
+	return s.mapIncremental(g, t, order)
+}
+
+// mapIncremental implements first- and second-order TopoLB with an
+// incrementally maintained p×p fest table plus per-task minimum and sum
+// over available processors (§4.4). Total time O(p·|Et| + p²), dominated
+// by table updates; memory p² float64.
+//
+// The table stores n·fest rather than fest: the second-order expected
+// distance Σ_q d(p,q) / n becomes the integer-valued total distance, so
+// with integral edge weights every table entry stays exactly
+// representable and the incremental updates match full recomputation
+// bit for bit (see the brute-force cross-check test). Scaling by the
+// constant n changes neither argmin nor the gain ordering.
+func (s TopoLB) mapIncremental(g *taskgraph.Graph, t topology.Topology, order Order) (Mapping, error) {
+	n := t.Nodes()
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = -1
+	}
+
+	// totalDist[p] = Σ_q d(p,q) = n × (second-order expected distance).
+	totalDist := make([]float64, n)
+	topology.TotalDistances(t, totalDist)
+
+	fest := make([]float64, n*n) // row = task, col = processor; scaled by n
+	unplacedW := make([]float64, n)
+	taskFree := make([]bool, n)
+	procFree := make([]bool, n)
+	fMin := make([]float64, n) // min fest over free processors
+	fMinAt := make([]int, n)   // argmin processor
+	fSum := make([]float64, n) // Σ fest over free processors
+	for v := 0; v < n; v++ {
+		taskFree[v] = true
+		procFree[v] = true
+		unplacedW[v] = g.WeightedDegree(v)
+	}
+	if order == OrderSecond {
+		for v := 0; v < n; v++ {
+			row := fest[v*n : (v+1)*n]
+			for p := 0; p < n; p++ {
+				row[p] = unplacedW[v] * totalDist[p]
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		rescanRow(fest[v*n:(v+1)*n], procFree, &fMin[v], &fMinAt[v], &fSum[v])
+	}
+
+	distRow := make([]float64, n) // n × d(p, pk)
+	freeProcs := n
+	for k := 0; k < n; k++ {
+		// Select the task with maximum gain = FAvg − FMin.
+		tk, bestGain := -1, 0.0
+		for v := 0; v < n; v++ {
+			if !taskFree[v] {
+				continue
+			}
+			gain := fSum[v]/float64(freeProcs) - fMin[v]
+			if tk < 0 || gain > bestGain {
+				tk, bestGain = v, gain
+			}
+		}
+		// Select the cheapest free processor for tk.
+		pk := fMinAt[tk]
+		m[tk] = pk
+		taskFree[tk] = false
+		procFree[pk] = false
+		freeProcs--
+		if freeProcs == 0 {
+			break
+		}
+
+		for p := 0; p < n; p++ {
+			distRow[p] = float64(n) * float64(t.Distance(p, pk))
+		}
+		// Neighbors of tk gain an exact term (and, at second order, lose
+		// the expected-distance term for this edge).
+		adj, w := g.Neighbors(tk)
+		isNbr := make(map[int]bool, len(adj))
+		for i, ui := range adj {
+			u := int(ui)
+			isNbr[u] = true
+			if !taskFree[u] {
+				continue
+			}
+			c := w[i]
+			unplacedW[u] -= c
+			row := fest[u*n : (u+1)*n]
+			if order == OrderSecond {
+				for p := 0; p < n; p++ {
+					row[p] += c * (distRow[p] - totalDist[p])
+				}
+			} else {
+				for p := 0; p < n; p++ {
+					row[p] += c * distRow[p]
+				}
+			}
+			rescanRow(row, procFree, &fMin[u], &fMinAt[u], &fSum[u])
+		}
+		// Other unplaced tasks only lose processor pk from their free set.
+		for v := 0; v < n; v++ {
+			if !taskFree[v] || isNbr[v] {
+				continue
+			}
+			fSum[v] -= fest[v*n+pk]
+			if fMinAt[v] == pk {
+				rescanRow(fest[v*n:(v+1)*n], procFree, &fMin[v], &fMinAt[v], &fSum[v])
+			}
+		}
+	}
+	return m, nil
+}
+
+// rescanRow recomputes the minimum, argmin, and sum of a fest row over the
+// free processors.
+func rescanRow(row []float64, procFree []bool, minVal *float64, minAt *int, sum *float64) {
+	mv, ma, s := 0.0, -1, 0.0
+	for p, free := range procFree {
+		if !free {
+			continue
+		}
+		v := row[p]
+		s += v
+		if ma < 0 || v < mv {
+			mv, ma = v, p
+		}
+	}
+	*minVal, *minAt, *sum = mv, ma, s
+}
+
+// mapThirdOrder implements third-order TopoLB: the expected distance for an
+// unplaced neighbor is taken over the *free* processors, so every fest
+// value changes each cycle and the full table is rescanned — O(p²) per
+// cycle, O(p³) total (§4.4).
+func (s TopoLB) mapThirdOrder(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	n := t.Nodes()
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = -1
+	}
+	// base[task][p] accumulates the exact first-order part; sumFree[p]
+	// tracks Σ_{q free} d(p,q).
+	base := make([]float64, n*n)
+	sumFree := make([]float64, n)
+	topology.TotalDistances(t, sumFree)
+	unplacedW := make([]float64, n)
+	taskFree := make([]bool, n)
+	procFree := make([]bool, n)
+	for v := 0; v < n; v++ {
+		taskFree[v] = true
+		procFree[v] = true
+		unplacedW[v] = g.WeightedDegree(v)
+	}
+	distRow := make([]float64, n)
+	freeProcs := n
+	for k := 0; k < n; k++ {
+		inv := 1 / float64(freeProcs)
+		tk, pkBest, bestGain := -1, -1, 0.0
+		for v := 0; v < n; v++ {
+			if !taskFree[v] {
+				continue
+			}
+			row := base[v*n : (v+1)*n]
+			mv, ma, sum := 0.0, -1, 0.0
+			for p := 0; p < n; p++ {
+				if !procFree[p] {
+					continue
+				}
+				f := row[p] + unplacedW[v]*sumFree[p]*inv
+				sum += f
+				if ma < 0 || f < mv {
+					mv, ma = f, p
+				}
+			}
+			gain := sum*inv - mv
+			if tk < 0 || gain > bestGain {
+				tk, pkBest, bestGain = v, ma, gain
+			}
+		}
+		pk := pkBest
+		m[tk] = pk
+		taskFree[tk] = false
+		procFree[pk] = false
+		freeProcs--
+		if freeProcs == 0 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			distRow[p] = float64(t.Distance(p, pk))
+			sumFree[p] -= distRow[p]
+		}
+		adj, w := g.Neighbors(tk)
+		for i, ui := range adj {
+			u := int(ui)
+			if !taskFree[u] {
+				continue
+			}
+			c := w[i]
+			unplacedW[u] -= c
+			row := base[u*n : (u+1)*n]
+			for p := 0; p < n; p++ {
+				row[p] += c * distRow[p]
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// referenceTopoLB is a deliberately slow, obviously-correct second-order
+// TopoLB: every cycle it recomputes the full estimation table from
+// scratch instead of maintaining it incrementally. The production
+// implementation must select exactly the same task/processor sequence.
+func referenceTopoLB(g *taskgraph.Graph, t topology.Topology) Mapping {
+	n := t.Nodes()
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = -1
+	}
+	totalDist := make([]float64, n)
+	topology.TotalDistances(t, totalDist)
+	taskFree := make([]bool, n)
+	procFree := make([]bool, n)
+	for i := 0; i < n; i++ {
+		taskFree[i] = true
+		procFree[i] = true
+	}
+	freeProcs := n
+	// n-scaled fest, matching the production implementation's exact
+	// integer-friendly formulation.
+	fest := func(v, p int) float64 {
+		adj, w := g.Neighbors(v)
+		f := 0.0
+		for i, u := range adj {
+			if pu := m[u]; pu >= 0 {
+				f += w[i] * float64(n) * float64(t.Distance(p, pu))
+			} else {
+				f += w[i] * totalDist[p]
+			}
+		}
+		return f
+	}
+	for k := 0; k < n; k++ {
+		tk, bestGain := -1, 0.0
+		for v := 0; v < n; v++ {
+			if !taskFree[v] {
+				continue
+			}
+			sum, minVal, found := 0.0, 0.0, false
+			for p := 0; p < n; p++ {
+				if !procFree[p] {
+					continue
+				}
+				f := fest(v, p)
+				sum += f
+				if !found || f < minVal {
+					minVal, found = f, true
+				}
+			}
+			gain := sum/float64(freeProcs) - minVal
+			if tk < 0 || gain > bestGain {
+				tk, bestGain = v, gain
+			}
+		}
+		pk := -1
+		var minCost float64
+		for p := 0; p < n; p++ {
+			if !procFree[p] {
+				continue
+			}
+			f := fest(tk, p)
+			if pk < 0 || f < minCost {
+				pk, minCost = p, f
+			}
+		}
+		m[tk] = pk
+		taskFree[tk] = false
+		procFree[pk] = false
+		freeProcs--
+	}
+	return m
+}
+
+// TestTopoLBMatchesBruteForceReference: the incremental fest-table
+// implementation must agree with full recomputation on many random
+// instances. Exact float comparisons can differ (float32 table vs float64
+// recompute), so agreement is asserted on the resulting hop-bytes within
+// a small tolerance, and on exact placements for integer-weight cases.
+func TestTopoLBMatchesBruteForceReference(t *testing.T) {
+	shapes := []topology.Topology{
+		topology.MustTorus(3, 3), topology.MustMesh(4, 3), topology.MustTorus(2, 2, 3),
+	}
+	for _, to := range shapes {
+		n := to.Nodes()
+		for seed := int64(0); seed < 10; seed++ {
+			// Integer weights keep float32 and float64 arithmetic exact.
+			g := taskgraph.Random(n, n*2, 1, 16, seed)
+			gi := integerize(g)
+			fast, err := TopoLB{}.Map(gi, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := referenceTopoLB(gi, to)
+			hbFast := HopBytes(gi, to, fast)
+			hbRef := HopBytes(gi, to, ref)
+			if diff := hbFast - hbRef; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s seed %d: incremental HB %v != reference HB %v",
+					to.Name(), seed, hbFast, hbRef)
+			}
+			for v := range fast {
+				if fast[v] != ref[v] {
+					t.Errorf("%s seed %d: placement diverges at task %d (%d vs %d)",
+						to.Name(), seed, v, fast[v], ref[v])
+					break
+				}
+			}
+		}
+	}
+}
+
+// integerize rounds all weights to small integers so both implementations
+// compute bit-identical estimation values.
+func integerize(g *taskgraph.Graph) *taskgraph.Graph {
+	n := g.NumVertices()
+	b := taskgraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetVertexWeight(v, float64(int(g.VertexWeight(v)+0.5)))
+		adj, w := g.Neighbors(v)
+		for i, u := range adj {
+			if int32(v) < u {
+				b.AddEdge(v, int(u), float64(int(w[i]+0.5)+1))
+			}
+		}
+	}
+	return b.Build("int[" + g.Name() + "]")
+}

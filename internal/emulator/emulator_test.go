@@ -1,0 +1,237 @@
+package emulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func identityMapping(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	g := taskgraph.Mesh2D(2, 2, 100)
+	to := topology.MustMesh(2, 2)
+	m := DefaultMachine(to)
+	if _, err := (&Machine{}).RunIterative(g, identityMapping(4), 1, 1e-6); err == nil {
+		t.Error("nil topo: want error")
+	}
+	if _, err := (&Machine{Topo: to}).RunIterative(g, identityMapping(4), 1, 1e-6); err == nil {
+		t.Error("zero bandwidth: want error")
+	}
+	if _, err := m.RunIterative(g, identityMapping(4), 0, 1e-6); err == nil {
+		t.Error("zero iterations: want error")
+	}
+	if _, err := m.RunIterative(g, []int{0, 1}, 1, 1e-6); err == nil {
+		t.Error("short mapping: want error")
+	}
+	if _, err := m.RunIterative(g, []int{0, 1, 2, 9}, 1, 1e-6); err == nil {
+		t.Error("out-of-range processor: want error")
+	}
+	if _, err := m.RunIterative(g, identityMapping(4), 1, -1); err == nil {
+		t.Error("negative compute: want error")
+	}
+}
+
+func TestIdentityMappingLinkLoads(t *testing.T) {
+	// 8x8x8 Jacobi on an (8,8,8) mesh with the isomorphism mapping: every
+	// message travels exactly 1 hop and every used link carries exactly
+	// one message's bytes.
+	const S = 1e5
+	g := taskgraph.Mesh3D(8, 8, 8, S)
+	to := topology.MustMesh(8, 8, 8)
+	m := DefaultMachine(to)
+	res, err := m.RunIterative(g, identityMapping(512), 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHops != 1 {
+		t.Errorf("MaxHops = %d, want 1", res.MaxHops)
+	}
+	if res.AvgHops != 1 {
+		t.Errorf("AvgHops = %v, want 1", res.AvgHops)
+	}
+	if res.MaxLinkBytes != S {
+		t.Errorf("MaxLinkBytes = %v, want %v", res.MaxLinkBytes, S)
+	}
+	if math.Abs(res.TotalTime-200*res.IterationTime) > 1e-9 {
+		t.Errorf("TotalTime inconsistent")
+	}
+}
+
+func TestRandomMappingCongestsMore(t *testing.T) {
+	// Table 1's mechanism: random mapping loads links ~avgHops× more.
+	const S = 1e5
+	g := taskgraph.Mesh3D(8, 8, 8, S)
+	to := topology.MustMesh(8, 8, 8)
+	m := DefaultMachine(to)
+	opt, err := m.RunIterative(g, identityMapping(512), 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.Random{Seed: 1}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := m.RunIterative(g, rm, 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.TotalTime <= opt.TotalTime {
+		t.Errorf("random %v <= optimal %v", rnd.TotalTime, opt.TotalTime)
+	}
+	if rnd.MaxLinkBytes <= 3*opt.MaxLinkBytes {
+		t.Errorf("random MaxLinkBytes %v not well above optimal %v", rnd.MaxLinkBytes, opt.MaxLinkBytes)
+	}
+	if rnd.AvgHops < 5 {
+		t.Errorf("random AvgHops = %v, want near mesh mean (7.875)", rnd.AvgHops)
+	}
+}
+
+func TestGapGrowsWithMessageSize(t *testing.T) {
+	// Table 1: the random/optimal ratio grows as message size grows
+	// (bandwidth term dominates fixed overheads).
+	to := topology.MustMesh(8, 8, 8)
+	m := DefaultMachine(to)
+	ratio := func(S float64) float64 {
+		g := taskgraph.Mesh3D(8, 8, 8, S)
+		opt, err := m.RunIterative(g, identityMapping(512), 200, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, _ := core.Random{Seed: 1}.Map(g, to)
+		rnd, err := m.RunIterative(g, rm, 200, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rnd.TotalTime / opt.TotalTime
+	}
+	small, large := ratio(1e3), ratio(1e6)
+	if large <= small {
+		t.Errorf("ratio at 1MB (%v) not above ratio at 1KB (%v)", large, small)
+	}
+}
+
+func TestTorusBeatsMeshForRandom(t *testing.T) {
+	// Figures 10–11: wraparound links lower link loads, and the effect is
+	// strongest for random placement.
+	const S = 1e5
+	g := taskgraph.Mesh2D(16, 16, S)
+	mesh := topology.MustMesh(8, 8, 4)
+	torus := topology.MustTorus(8, 8, 4)
+	rmMesh, _ := core.Random{Seed: 2}.Map(g, mesh)
+	mM := DefaultMachine(mesh)
+	mT := DefaultMachine(torus)
+	resMesh, err := mM.RunIterative(g, rmMesh, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTorus, err := mT.RunIterative(g, rmMesh, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTorus.TotalTime >= resMesh.TotalTime {
+		t.Errorf("torus time %v >= mesh time %v for the same random mapping", resTorus.TotalTime, resMesh.TotalTime)
+	}
+}
+
+func TestMultipleCharesPerProcessor(t *testing.T) {
+	// 4 chares on 1 processor of a 2-node mesh: compute serializes; the
+	// intra-processor messages cost no link bytes.
+	g := taskgraph.Mesh2D(2, 2, 1000)
+	to := topology.MustMesh(2)
+	m := DefaultMachine(to)
+	res, err := m.RunIterative(g, []int{0, 0, 0, 0}, 10, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ComputePhase-4e-3) > 1e-12 {
+		t.Errorf("ComputePhase = %v, want 4ms", res.ComputePhase)
+	}
+	if res.MaxLinkBytes != 0 {
+		t.Errorf("MaxLinkBytes = %v, want 0 (all intra-processor)", res.MaxLinkBytes)
+	}
+	if res.MaxHops != 0 {
+		t.Errorf("MaxHops = %d, want 0", res.MaxHops)
+	}
+}
+
+func TestAvgHopsMatchesHopsPerByte(t *testing.T) {
+	// The emulator's byte-weighted AvgHops must agree with the core
+	// hop-bytes metric for bijective mappings.
+	g := taskgraph.Mesh2D(4, 4, 1234)
+	to := topology.MustTorus(4, 4)
+	mp, err := core.Random{Seed: 9}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine(to)
+	res, err := m.RunIterative(g, mp, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.HopsPerByte(g, to, mp)
+	if math.Abs(res.AvgHops-want) > 1e-9 {
+		t.Errorf("AvgHops = %v, HopsPerByte = %v", res.AvgHops, want)
+	}
+}
+
+func TestSplitRoutingSpreadsLoad(t *testing.T) {
+	// A random mapping of a 2D pattern on a torus has multi-hop messages;
+	// splitting them over two minimal paths must not change total
+	// hop-bytes but must reduce (or at worst preserve) the busiest link.
+	g := taskgraph.Mesh2D(8, 8, 1e5)
+	to := topology.MustTorus(4, 4, 4)
+	mp, err := core.Random{Seed: 5}.Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := DefaultMachine(to)
+	split := DefaultMachine(to)
+	split.SplitRouting = true
+	rp, err := plain.RunIterative(g, mp, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := split.RunIterative(g, mp, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MaxLinkBytes > rp.MaxLinkBytes {
+		t.Errorf("split routing raised max link load: %v -> %v", rp.MaxLinkBytes, rs.MaxLinkBytes)
+	}
+	if rs.MaxLinkBytes >= 0.95*rp.MaxLinkBytes {
+		t.Errorf("split routing did not materially spread load: %v vs %v", rs.MaxLinkBytes, rp.MaxLinkBytes)
+	}
+	if math.Abs(rs.AvgHops-rp.AvgHops) > 1e-9 {
+		t.Errorf("split routing changed hops/byte: %v vs %v", rs.AvgHops, rp.AvgHops)
+	}
+	// Total bytes over all links is conserved: same hop-bytes.
+	if math.Abs(rs.AvgLinkBytes-rp.AvgLinkBytes) > 1e-6 {
+		t.Errorf("split routing changed total link bytes: %v vs %v", rs.AvgLinkBytes, rp.AvgLinkBytes)
+	}
+}
+
+func TestSplitRoutingNoEffectOnSingleHop(t *testing.T) {
+	// The isomorphism mapping has only 1-hop messages: split routing is a
+	// no-op.
+	g := taskgraph.Mesh3D(4, 4, 4, 1e5)
+	to := topology.MustMesh(4, 4, 4)
+	m := DefaultMachine(to)
+	m.SplitRouting = true
+	res, err := m.RunIterative(g, identityMapping(64), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLinkBytes != 1e5 {
+		t.Errorf("MaxLinkBytes = %v, want exactly one message", res.MaxLinkBytes)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// bluegene regenerates the §5.4 BlueGene runs: a 2D Jacobi benchmark with
+// 100 KB messages and 4000 iterations, elements = processors, comparing
+// TopoLB / TopoCentLB / random placement as the machine grows. mesh
+// selects 3D-mesh (Figure 11) instead of 3D-torus (Figure 10) networks.
+func bluegene(id, title string, sizes []int, mesh bool, iters int) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"p", "topolb_s", "topocentlb_s", "random_s"},
+		Notes:   "model time for 4000 iterations, 100KB messages (contention emulator)",
+	}
+	for _, p := range sizes {
+		rx, ry := factor2(p)
+		g := taskgraph.Mesh2D(rx, ry, 1e5)
+		tx, ty, tz := factor3(p)
+		var topo topology.Router
+		if mesh {
+			topo = topology.MustMesh(tx, ty, tz)
+		} else {
+			topo = topology.MustTorus(tx, ty, tz)
+		}
+		machine := emulator.DefaultMachine(topo)
+		// BlueGene's torus hardware routes adaptively; approximate by
+		// spreading multi-hop messages over two minimal paths.
+		machine.SplitRouting = true
+		row := []float64{float64(p)}
+		for _, s := range []core.Strategy{core.TopoLB{}, core.TopoCentLB{}, core.Random{Seed: 1}} {
+			m, err := s.Map(g, topo)
+			if err != nil {
+				return nil, err
+			}
+			res, err := machine.RunIterative(g, m, iters, 50e-6)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.TotalTime)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 regenerates Figure 10: time for 4000 iterations on BlueGene
+// 3D-torus networks of growing size.
+func Fig10(quick bool) (*Table, error) {
+	sizes := []int{64, 128, 256, 512, 784}
+	iters := 4000
+	if quick {
+		sizes = []int{64, 256}
+		iters = 400
+	}
+	return bluegene("fig10", "2D-mesh pattern on BlueGene 3D-torus: time vs processors",
+		sizes, false, iters)
+}
+
+// Fig11 regenerates Figure 11: the same benchmark on 3D-mesh networks.
+// Mesh times exceed torus times — wraparound links lower link loads — and
+// random placement suffers most from their removal.
+func Fig11(quick bool) (*Table, error) {
+	sizes := []int{64, 128, 256, 512}
+	iters := 4000
+	if quick {
+		sizes = []int{64, 256}
+		iters = 400
+	}
+	return bluegene("fig11", "2D-mesh pattern on BlueGene 3D-mesh: time vs processors",
+		sizes, true, iters)
+}

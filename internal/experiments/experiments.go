@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment returns a Table whose rows mirror the
+// series the paper plots; cmd/experiments prints them and the root-level
+// benchmarks run them under `go test -bench`.
+//
+// Absolute values are model time (the substrate is a simulator/emulator,
+// not the authors' BlueGene), so EXPERIMENTS.md compares *shapes*: who
+// wins, by roughly what factor, and where trends cross.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Table is one regenerated table or figure.
+type Table struct {
+	// ID is the experiment identifier: "table1", "fig1" … "fig11".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns names each value column; column 0 is the x-axis.
+	Columns []string
+	// Rows holds one row per x value.
+	Rows [][]float64
+	// Notes records workload parameters and caveats.
+	Notes string
+}
+
+// Format renders the table in aligned plain text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", t.Notes)
+	}
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := formatValue(v)
+			cells[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%*s", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%*s", widths[i], s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7 && v > -1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01 || v <= -0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Registry returns every experiment generator keyed by ID. The quick flag
+// shrinks problem sizes and iteration counts so the full suite runs in
+// seconds; the full configuration matches the paper's scales.
+func Registry(quick bool) map[string]func() (*Table, error) {
+	return map[string]func() (*Table, error){
+		"table1": func() (*Table, error) { return Table1(quick) },
+		"fig1":   func() (*Table, error) { return Fig1(quick) },
+		"fig2":   func() (*Table, error) { return Fig2(quick) },
+		"fig3":   func() (*Table, error) { return Fig3(quick) },
+		"fig4":   func() (*Table, error) { return Fig4(quick) },
+		"fig5":   func() (*Table, error) { return Fig5(quick) },
+		"fig6":   func() (*Table, error) { return Fig6(quick) },
+		"fig7":   func() (*Table, error) { return Fig7(quick) },
+		"fig8":   func() (*Table, error) { return Fig8(quick) },
+		"fig9":   func() (*Table, error) { return Fig9(quick) },
+		"fig10":  func() (*Table, error) { return Fig10(quick) },
+		"fig11":  func() (*Table, error) { return Fig11(quick) },
+	}
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+}
+
+// factor2 splits p into two factors as close to square as possible.
+func factor2(p int) (int, int) {
+	best := 1
+	for a := 1; a*a <= p; a++ {
+		if p%a == 0 {
+			best = a
+		}
+	}
+	return p / best, best
+}
+
+// factor3 splits p into three factors as close to cubic as possible.
+func factor3(p int) (int, int, int) {
+	bestA, bestB, bestC := p, 1, 1
+	bestSpread := p
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			if spread := c - a; spread < bestSpread {
+				bestSpread = spread
+				bestA, bestB, bestC = c, b, a
+			}
+		}
+	}
+	return bestA, bestB, bestC
+}
+
+// randomHPB averages hops-per-byte of random mappings over a seed sweep.
+func randomHPB(g *taskgraph.Graph, t topology.Topology, seeds int) (float64, error) {
+	var firstErr error
+	s := stats.Sweep(seeds, func(seed int64) float64 {
+		m, err := (core.Random{Seed: seed}).Map(g, t)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		return core.HopsPerByte(g, t, m)
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return s.Mean, nil
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (header row, then data),
+// for plotting pipelines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	row := make([]string, len(t.Columns))
+	for _, r := range t.Rows {
+		for i := range row {
+			row[i] = ""
+			if i < len(r) {
+				row[i] = strconv.FormatFloat(r[i], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

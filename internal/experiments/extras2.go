@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/netsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// ExtrasScaling validates the paper's §4.4 complexity analysis: TopoLB's
+// running time should grow ~quadratically with p on constant-degree task
+// graphs (O(p·|Et|) table updates plus O(p²) selection scans), while
+// TopoCentLB is cheaper by a constant factor and the hierarchical Hybrid
+// grows much more gently.
+func ExtrasScaling(quick bool) (*Table, error) {
+	sides := []int{8, 16}
+	if !quick {
+		sides = append(sides, 32, 48, 64)
+	}
+	t := &Table{
+		ID:      "extras-scaling",
+		Title:   "strategy running time (ms) vs machine size",
+		Columns: []string{"p", "topolb_ms", "topocentlb_ms", "hybrid4x4_ms"},
+		Notes:   "2D-mesh pattern onto square 2D-torus; validates §4.4 complexity",
+	}
+	for _, side := range sides {
+		g := taskgraph.Mesh2D(side, side, 1e5)
+		torus := topology.MustTorus(side, side)
+		row := []float64{float64(side * side)}
+		for _, s := range []core.Strategy{
+			core.TopoLB{},
+			core.TopoCentLB{},
+			hybrid.Hybrid{Block: []int{4, 4}, Seed: 1},
+		} {
+			start := time.Now()
+			if _, err := s.Map(g, torus); err != nil {
+				return nil, err
+			}
+			row = append(row, float64(time.Since(start).Microseconds())/1e3)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ExtrasModern compares how much topology-aware mapping is worth across
+// machine families — the paper's motivation in reverse. Torus and mesh
+// machines reward mapping heavily; low-diameter hypercubes, fat-trees,
+// and dragonflies leave little on the table.
+func ExtrasModern(quick bool) (*Table, error) {
+	g := taskgraph.Mesh2D(6, 6, 1e5) // 36 tasks everywhere
+	type machine struct {
+		id   float64
+		topo topology.Topology
+	}
+	// All machines sized exactly 36 nodes.
+	torus, err := topology.NewTorus(6, 6)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := topology.NewMesh(6, 6)
+	if err != nil {
+		return nil, err
+	}
+	df, err := topology.NewDragonfly(4, 2) // 36 routers: g=9, a=4
+	if err != nil {
+		return nil, err
+	}
+	machines := []machine{
+		{1, torus},
+		{2, mesh},
+		{3, df},
+	}
+	t := &Table{
+		ID:      "extras-modern",
+		Title:   "value of mapping by machine family (36-node machines, 6x6 Jacobi)",
+		Columns: []string{"machine", "diameter", "E[random]", "topolb", "random", "win"},
+		Notes:   "machine column: 1=2D-torus 2=2D-mesh 3=dragonfly(a=4,h=2)",
+	}
+	for _, mc := range machines {
+		mT, err := (core.TopoLB{}).Map(g, mc.topo)
+		if err != nil {
+			return nil, err
+		}
+		hT := core.HopsPerByte(g, mc.topo, mT)
+		hR, err := randomHPB(g, mc.topo, 5)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			mc.id,
+			float64(topology.Diameter(mc.topo)),
+			topology.MeanDistance(mc.topo),
+			hT, hR, hR / hT,
+		})
+	}
+	return t, nil
+}
+
+// ExtrasBuffered studies credit-based flow control: tighter downstream
+// buffers propagate congestion upstream (backpressure) instead of hiding
+// it in unbounded queues. Good mappings barely notice; random placement's
+// tail latency grows as buffers shrink.
+func ExtrasBuffered(quick bool) (*Table, error) {
+	iters := 100
+	if quick {
+		iters = 30
+	}
+	g := taskgraph.Mesh2D(8, 8, 4e3)
+	torus := topology.MustTorus(4, 4, 4)
+	prog, err := trace.FromTaskGraph(g, iters, 20e-6)
+	if err != nil {
+		return nil, err
+	}
+	mT, err := (core.TopoLB{}).Map(g, torus)
+	if err != nil {
+		return nil, err
+	}
+	mR, err := (core.Random{Seed: 1}).Map(g, torus)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "extras-buffered",
+		Title:   "credit-based flow control: avg latency (us) vs buffer depth at 200 MB/s",
+		Columns: []string{"buffers", "random", "topolb"},
+		Notes:   "buffers = packet credits per (link,VC); 0 = unbounded queues",
+	}
+	for _, buffers := range []int{1, 2, 4, 0} {
+		row := []float64{float64(buffers)}
+		for _, m := range []core.Mapping{mR, mT} {
+			res, err := trace.Replay(prog, m, netsim.Config{
+				Topology:      torus,
+				LinkBandwidth: 2e8,
+				LinkLatency:   100e-9,
+				PacketSize:    1024,
+				BufferPackets: buffers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Net.AvgLatency*1e6)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// leanMD measures hops-per-byte of the full two-phase pipeline on the
+// synthetic LeanMD workload (3240 + p chares): multilevel partition into p
+// groups, quotient graph, then each mapping strategy onto a torus.
+func leanMD(id, title string, sizes []int, dims int) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"p", "random", "topocentlb", "topolb", "topolb+refine"},
+		Notes:   "hops-per-byte on the METIS-style quotient graph of LeanMD (3240+p chares)",
+	}
+	for _, p := range sizes {
+		g := taskgraph.LeanMD(p, 1e4, 1)
+		pr, err := (partition.Multilevel{Seed: 1}).Partition(g, p)
+		if err != nil {
+			return nil, err
+		}
+		q, err := partition.Quotient(g, pr)
+		if err != nil {
+			return nil, err
+		}
+		var torus topology.Topology
+		if dims == 2 {
+			tx, ty := factor2(p)
+			torus = topology.MustTorus(tx, ty)
+		} else {
+			tx, ty, tz := factor3(p)
+			torus = topology.MustTorus(tx, ty, tz)
+		}
+		hR, err := randomHPB(q, torus, 3)
+		if err != nil {
+			return nil, err
+		}
+		row := []float64{float64(p), hR}
+		for _, s := range []core.Strategy{
+			core.TopoCentLB{},
+			core.TopoLB{},
+			core.RefineTopoLB{Base: core.TopoLB{}},
+		} {
+			m, err := s.Map(q, torus)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, core.HopsPerByte(q, torus, m))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func leanMDSizes(quick bool) []int {
+	if quick {
+		return []int{18, 128}
+	}
+	return []int{18, 128, 512, 1024}
+}
+
+// Fig5 regenerates Figure 5: LeanMD mapped onto 2D tori. The paper
+// reports TopoLB ≈ 34 % below random, RefineTopoLB a further ≈ 12 %, and
+// TopoCentLB ≈ 30 % below random; at p = 18 the quotient graph is so
+// dense that no strategy can do much.
+func Fig5(quick bool) (*Table, error) {
+	return leanMD("fig5", "LeanMD onto 2D-tori: hops/byte by strategy", leanMDSizes(quick), 2)
+}
+
+// Fig6 regenerates Figure 6: LeanMD onto 3D tori, where
+// TopoLB+RefineTopoLB reaches reductions in the 40 % range.
+func Fig6(quick bool) (*Table, error) {
+	return leanMD("fig6", "LeanMD onto 3D-tori: hops/byte by strategy", leanMDSizes(quick), 3)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// meshOnTorus measures hops-per-byte of random/TopoLB/TopoCentLB mappings
+// of a 2D-mesh pattern onto tori of the given sizes; dims selects the
+// torus dimensionality (2 or 3).
+func meshOnTorus(id, title string, sizes []int, dims int, zoom bool) (*Table, error) {
+	cols := []string{"p", "random", "E[random]", "topolb", "topocentlb"}
+	if zoom {
+		cols = []string{"p", "topolb", "topocentlb"}
+	}
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: cols,
+		Notes:   "hops-per-byte; 2D-Jacobi pattern, tasks = processors",
+	}
+	for _, p := range sizes {
+		rx, ry := factor2(p)
+		g := taskgraph.Mesh2D(rx, ry, 1e5)
+		var torus *topology.Torus
+		switch dims {
+		case 2:
+			tx, ty := factor2(p)
+			torus = topology.MustTorus(tx, ty)
+		case 3:
+			tx, ty, tz := factor3(p)
+			torus = topology.MustTorus(tx, ty, tz)
+		default:
+			return nil, fmt.Errorf("experiments: unsupported torus dimensionality %d", dims)
+		}
+		mT, err := (core.TopoLB{}).Map(g, torus)
+		if err != nil {
+			return nil, err
+		}
+		mC, err := (core.TopoCentLB{}).Map(g, torus)
+		if err != nil {
+			return nil, err
+		}
+		hT := core.HopsPerByte(g, torus, mT)
+		hC := core.HopsPerByte(g, torus, mC)
+		if zoom {
+			t.Rows = append(t.Rows, []float64{float64(p), hT, hC})
+			continue
+		}
+		hR, err := randomHPB(g, torus, 3)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			float64(p), hR, torus.AverageDistance(), hT, hC,
+		})
+	}
+	return t, nil
+}
+
+func fig1Sizes(quick bool) []int {
+	if quick {
+		return []int{16, 64, 256, 1024}
+	}
+	return []int{16, 64, 256, 576, 1024, 2304, 4096, 6084}
+}
+
+func fig3Sizes(quick bool) []int {
+	if quick {
+		return []int{64, 216, 512}
+	}
+	return []int{64, 216, 512, 1000, 1728, 4096, 5832}
+}
+
+// Fig1 regenerates Figure 1: 2D-mesh pattern mapped onto a 2D torus.
+// Random placement should track the analytic √p/2 while TopoLB and
+// TopoCentLB stay near the ideal value 1.
+func Fig1(quick bool) (*Table, error) {
+	return meshOnTorus("fig1", "2D-mesh pattern onto 2D-torus: hops/byte vs processors",
+		fig1Sizes(quick), 2, false)
+}
+
+// Fig2 regenerates Figure 2, the zoomed comparison of TopoLB vs
+// TopoCentLB from Figure 1 (TopoLB is optimal — exactly 1 — in most
+// cases).
+func Fig2(quick bool) (*Table, error) {
+	return meshOnTorus("fig2", "2D-mesh onto 2D-torus, zoom: TopoLB vs TopoCentLB",
+		fig1Sizes(quick), 2, true)
+}
+
+// Fig3 regenerates Figure 3: 2D-mesh pattern onto a 3D torus of the same
+// size; random tracks 3·∛p/4.
+func Fig3(quick bool) (*Table, error) {
+	return meshOnTorus("fig3", "2D-mesh pattern onto 3D-torus: hops/byte vs processors",
+		fig3Sizes(quick), 3, false)
+}
+
+// Fig4 regenerates Figure 4, the zoom of Figure 3. At p = 64 the (8,8)
+// mesh is a subgraph of the (4,4,4) torus, so the optimal 1.0 is
+// attainable.
+func Fig4(quick bool) (*Table, error) {
+	return meshOnTorus("fig4", "2D-mesh onto 3D-torus, zoom: TopoLB vs TopoCentLB",
+		fig3Sizes(quick), 3, true)
+}

@@ -1,0 +1,225 @@
+// Package hybrid implements the semi-distributed mapping scheme the
+// paper's conclusion (§6) proposes for future machines: "a distributed
+// approach toward keeping communication localized in a neighborhood may
+// be needed for scalability".
+//
+// The machine is tiled into equal blocks (sub-grids). Tasks are first
+// partitioned into one group per block and the group-level quotient graph
+// is mapped onto the coarse block grid with TopoLB; then each group is
+// mapped within its block, again with TopoLB, using only the group's
+// induced subgraph. Both levels are small, so the total cost drops from
+// TopoLB's O(p²) toward O(B² + p²/B) at a modest hop-byte penalty — the
+// trade the ablation benchmarks quantify.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Hybrid is a hierarchical block-wise mapping strategy for mesh and torus
+// machines.
+type Hybrid struct {
+	// Block is the block shape; every machine dimension must be divisible
+	// by the corresponding block extent.
+	Block []int
+	// Inner maps within blocks and across the block grid; nil means
+	// TopoLB.
+	Inner core.Strategy
+	// Seed drives the partitioning phase.
+	Seed int64
+}
+
+// Name implements core.Strategy.
+func (h Hybrid) Name() string { return fmt.Sprintf("Hybrid%v", h.Block) }
+
+// Map implements core.Strategy.
+func (h Hybrid) Map(g *taskgraph.Graph, t topology.Topology) (core.Mapping, error) {
+	if g.NumVertices() != t.Nodes() {
+		return nil, fmt.Errorf("hybrid: task count %d != processor count %d", g.NumVertices(), t.Nodes())
+	}
+	co, ok := t.(topology.Coordinated)
+	if !ok {
+		return nil, fmt.Errorf("hybrid: %s is not a mesh/torus machine", t.Name())
+	}
+	dims := co.Dims()
+	if len(h.Block) != len(dims) {
+		return nil, fmt.Errorf("hybrid: block has %d dimensions, machine has %d", len(h.Block), len(dims))
+	}
+	blockGrid := make([]int, len(dims))
+	blockVol := 1
+	for i, b := range h.Block {
+		if b < 1 || dims[i]%b != 0 {
+			return nil, fmt.Errorf("hybrid: block extent %d does not divide machine extent %d", b, dims[i])
+		}
+		blockGrid[i] = dims[i] / b
+		blockVol *= b
+	}
+	inner := h.Inner
+	if inner == nil {
+		inner = core.TopoLB{}
+	}
+	numBlocks := t.Nodes() / blockVol
+
+	// Phase 1: equal-count partition of tasks into one group per block.
+	assign, err := equalCountPartition(g, numBlocks, h.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: map the group quotient graph onto the coarse block grid.
+	// The block grid inherits the machine's kind: blocks of a torus whose
+	// wraparound survives tiling form a torus of blocks; a mesh stays a
+	// mesh. (For simplicity and safety we use a mesh unless the machine
+	// is a torus.)
+	pr := &partition.Result{Assign: assign, K: numBlocks}
+	q, err := partition.Quotient(g, pr)
+	if err != nil {
+		return nil, err
+	}
+	var blockTopo topology.Topology
+	if _, isTorus := t.(*topology.Torus); isTorus {
+		blockTopo, err = topology.NewTorus(blockGrid...)
+	} else {
+		blockTopo, err = topology.NewMesh(blockGrid...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	blockMap, err := inner.Map(q, blockTopo)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: block-level mapping: %w", err)
+	}
+	blockCo := blockTopo.(topology.Coordinated)
+
+	// Phase 3: map each group inside its block with the induced subgraph.
+	m := make(core.Mapping, g.NumVertices())
+	groups := make([][]int, numBlocks)
+	for v, grp := range assign {
+		groups[grp] = append(groups[grp], v)
+	}
+	localTopo, err := topology.NewMesh(h.Block...)
+	if err != nil {
+		return nil, err
+	}
+	localCo := topology.Coordinated(localTopo)
+	blockCoord := make([]int, len(dims))
+	localCoord := make([]int, len(dims))
+	globalCoord := make([]int, len(dims))
+	for grp, members := range groups {
+		sub := inducedSubgraph(g, members)
+		localMap, err := inner.Map(sub, localTopo)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: block %d mapping: %w", grp, err)
+		}
+		blockCo.Coord(blockMap[grp], blockCoord)
+		for i, v := range members {
+			localCo.Coord(localMap[i], localCoord)
+			for d := range globalCoord {
+				globalCoord[d] = blockCoord[d]*h.Block[d] + localCoord[d]
+			}
+			m[v] = co.Rank(globalCoord)
+		}
+	}
+	return m, nil
+}
+
+// equalCountPartition produces a partition with exactly n/k tasks per
+// group: a multilevel partition (unit weights would skew LeanMD-style
+// graphs, so real weights are kept) followed by count repair that moves
+// the least-connected tasks out of over-full groups.
+func equalCountPartition(g *taskgraph.Graph, k int, seed int64) ([]int, error) {
+	n := g.NumVertices()
+	if n%k != 0 {
+		return nil, fmt.Errorf("hybrid: %d tasks not divisible into %d equal blocks", n, k)
+	}
+	size := n / k
+	pr, err := (partition.Multilevel{Seed: seed}).Partition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	assign := append([]int(nil), pr.Assign...)
+	counts := make([]int, k)
+	for _, grp := range assign {
+		counts[grp]++
+	}
+	// Repeatedly move the task with the weakest tie to its over-full
+	// group into the under-full group it communicates with most.
+	for {
+		over := -1
+		for grp, c := range counts {
+			if c > size {
+				over = grp
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		bestV, bestTarget := -1, -1
+		bestLoss := 0.0
+		for v, grp := range assign {
+			if grp != over {
+				continue
+			}
+			adj, w := g.Neighbors(v)
+			connOwn := 0.0
+			connTo := make(map[int]float64)
+			for i, u := range adj {
+				gu := assign[u]
+				if gu == grp {
+					connOwn += w[i]
+				} else if counts[gu] < size {
+					connTo[gu] += w[i]
+				}
+			}
+			target, connBest := -1, -1.0
+			for gu, c := range connTo {
+				if c > connBest || (c == connBest && gu < target) {
+					target, connBest = gu, c
+				}
+			}
+			if target < 0 { // no attractive group; pick any under-full one
+				for gu, c := range counts {
+					if c < size {
+						target = gu
+						break
+					}
+				}
+				connBest = 0
+			}
+			loss := connOwn - connBest
+			if bestV < 0 || loss < bestLoss {
+				bestV, bestTarget, bestLoss = v, target, loss
+			}
+		}
+		assign[bestV] = bestTarget
+		counts[over]--
+		counts[bestTarget]++
+	}
+	return assign, nil
+}
+
+// inducedSubgraph extracts the subgraph on members (in order): sub-vertex
+// i corresponds to members[i]. Edges leaving the set are dropped.
+func inducedSubgraph(g *taskgraph.Graph, members []int) *taskgraph.Graph {
+	idx := make(map[int]int, len(members))
+	for i, v := range members {
+		idx[v] = i
+	}
+	b := taskgraph.NewBuilder(len(members))
+	for i, v := range members {
+		b.SetVertexWeight(i, g.VertexWeight(v))
+		adj, w := g.Neighbors(v)
+		for j, u := range adj {
+			if k, ok := idx[int(u)]; ok && i < k {
+				b.AddEdge(i, k, w[j])
+			}
+		}
+	}
+	return b.Build("induced")
+}

@@ -1,0 +1,46 @@
+package netsim
+
+// Adaptive minimal routing: instead of the topology's fixed
+// dimension-ordered route, each packet chooses — at every hop — the
+// minimal next hop (a neighbor strictly closer to the destination) whose
+// outgoing link frees up earliest. This spreads load over the multiple
+// minimal paths a torus offers and relieves hotspots, at the cost of the
+// in-order delivery guarantees deterministic routing provides. Enabled
+// with Config.Adaptive; the experiment suite uses it to quantify how much
+// of TopoLB's advantage survives smarter routing.
+
+// forwardAdaptive transmits one packet from cur toward dst, choosing the
+// least-congested minimal next hop at each step.
+func (n *Network) forwardAdaptive(cur, dst int, bytes float64, done func()) {
+	if cur == dst {
+		done()
+		return
+	}
+	distCur := n.cfg.Topology.Distance(cur, dst)
+	next, nextLink := -1, -1
+	var bestFree float64
+	for _, u := range n.cfg.Topology.Neighbors(cur) {
+		if n.cfg.Topology.Distance(u, dst) != distCur-1 {
+			continue
+		}
+		li := n.links.Index(cur, u)
+		if next < 0 || n.freeAt[li] < bestFree {
+			next, nextLink, bestFree = u, li, n.freeAt[li]
+		}
+	}
+	if next < 0 {
+		// A connected topology always has a minimal neighbor; this guards
+		// against inconsistent Distance/Neighbors implementations.
+		panic("netsim: no minimal next hop — inconsistent topology")
+	}
+	tx := bytes / n.cfg.LinkBandwidth
+	start := n.eng.Now()
+	if n.freeAt[nextLink] > start {
+		start = n.freeAt[nextLink]
+	}
+	n.freeAt[nextLink] = start + tx
+	n.busy[nextLink] += tx
+	n.eng.Schedule(start+tx+n.cfg.LinkLatency, func() {
+		n.forwardAdaptive(next, dst, bytes, done)
+	})
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestAdaptiveSingleMessageSameAsDeterministic(t *testing.T) {
+	// Without contention, adaptive minimal routing pays exactly the same
+	// cost as deterministic routing.
+	run := func(adaptive bool) float64 {
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{
+			Topology: topology.MustTorus(4, 4), LinkBandwidth: 1e6,
+			LinkLatency: 1e-6, Adaptive: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Send(0, 10, 1000, nil) // (0,0) -> (2,2): 4 hops
+		eng.Run()
+		return net.Stats().AvgLatency
+	}
+	det, ad := run(false), run(true)
+	if math.Abs(det-ad) > 1e-12 {
+		t.Errorf("deterministic %v != adaptive %v without contention", det, ad)
+	}
+}
+
+func TestAdaptiveRelievesHotspot(t *testing.T) {
+	// Many messages from 0 to the torus antipode: deterministic routing
+	// funnels them all through one dimension-ordered path; adaptive
+	// routing spreads them over the many minimal paths.
+	run := func(adaptive bool) float64 {
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{
+			Topology: topology.MustTorus(6, 6), LinkBandwidth: 1e6,
+			Adaptive: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := 6*3 + 3 // (3,3)
+		for i := 0; i < 16; i++ {
+			net.Send(0, dst, 1000, nil)
+		}
+		eng.Run()
+		return net.Stats().AvgLatency
+	}
+	det, ad := run(false), run(true)
+	if ad >= det {
+		t.Errorf("adaptive latency %v not below deterministic %v under hotspot", ad, det)
+	}
+}
+
+func TestAdaptiveConservation(t *testing.T) {
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{
+		Topology: topology.MustTorus(4, 4), LinkBandwidth: 1e7,
+		PacketSize: 512, Adaptive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a != b {
+				net.Send(a, b, 2000, nil)
+				sent++
+			}
+		}
+	}
+	eng.Run()
+	if got := net.Stats().MessagesDelivered; got != sent {
+		t.Errorf("delivered %d of %d", got, sent)
+	}
+}
+
+func TestAdaptiveDeterministicReplay(t *testing.T) {
+	run := func() Stats {
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{
+			Topology: topology.MustTorus(4, 4), LinkBandwidth: 1e6, Adaptive: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			net.Send(i, 15-i, 1000, nil)
+		}
+		eng.Run()
+		return net.Stats()
+	}
+	a, b := run(), run()
+	if a.AvgLatency != b.AvgLatency || a.MaxLinkBusy != b.MaxLinkBusy {
+		t.Error("adaptive routing not deterministic across identical runs")
+	}
+}

@@ -1,0 +1,207 @@
+package netsim
+
+import "container/list"
+
+// Buffered (credit-based) flow control: with Config.BufferPackets > 0,
+// each receiving node grants a finite number of packet buffers per
+// incoming (link, virtual channel) pair. A packet may start crossing a
+// link only when the link is idle AND a downstream buffer credit is
+// available; the credit returns when the packet leaves that buffer
+// (starts its next hop, or is consumed at its destination). This is
+// virtual cut-through with backpressure — congestion now propagates
+// upstream instead of accumulating in unbounded queues.
+//
+// Tori are deadlock-prone under minimal routing with finite buffers, so
+// the standard dateline discipline is used: every packet starts on
+// virtual channel 0 and switches to virtual channel 1 for the rest of
+// the current dimension after crossing the wraparound seam, breaking the
+// cyclic buffer dependency exactly as BlueGene's torus hardware does.
+
+// vchannels is the number of virtual channels per link.
+const vchannels = 2
+
+// bufPacket is one packet traversing the buffered network.
+type bufPacket struct {
+	path  []int // remaining route: path[hop] is current node
+	hop   int   // index of the current node in path
+	vc    int   // current virtual channel
+	bytes float64
+	done  func()
+	// heldLink/heldVC identify the upstream buffer this packet occupies
+	// (-1 when at the source).
+	heldLink, heldVC int
+}
+
+// bufLink is the state of one directed link under buffered flow control.
+type bufLink struct {
+	busy    bool
+	credits [vchannels]int
+	waiting [vchannels]*list.List // queued packets per requested VC
+}
+
+// bufNetwork augments Network with buffered flow-control state.
+type bufNetwork struct {
+	n     *Network
+	links []bufLink
+}
+
+func newBufNetwork(n *Network) *bufNetwork {
+	b := &bufNetwork{n: n, links: make([]bufLink, n.links.Len())}
+	for i := range b.links {
+		for vc := 0; vc < vchannels; vc++ {
+			b.links[i].credits[vc] = n.cfg.BufferPackets
+			b.links[i].waiting[vc] = list.New()
+		}
+	}
+	return b
+}
+
+// inject starts a packet at its source.
+func (b *bufNetwork) inject(path []int, bytes float64, done func()) {
+	p := &bufPacket{path: path, bytes: bytes, done: done, heldLink: -1, heldVC: -1}
+	b.request(p)
+}
+
+// request asks for the packet's next hop to begin, queueing if the link
+// is busy or the downstream buffer is full.
+func (b *bufNetwork) request(p *bufPacket) {
+	cur, next := p.path[p.hop], p.path[p.hop+1]
+	li := b.n.links.Index(cur, next)
+	p.vc = b.chooseVC(p)
+	l := &b.links[li]
+	if l.busy || l.credits[p.vc] == 0 {
+		l.waiting[p.vc].PushBack(p)
+		return
+	}
+	b.start(li, p)
+}
+
+// chooseVC applies the dateline rule: switch to VC 1 when the upcoming
+// hop crosses a wraparound seam (coordinates jump by more than one), and
+// stay there until the dimension changes direction of travel — detected
+// conservatively by reverting to VC 0 only at dimension boundaries, i.e.
+// when the previous hop was in a different dimension than the next.
+func (b *bufNetwork) chooseVC(p *bufPacket) int {
+	cur, next := p.path[p.hop], p.path[p.hop+1]
+	if wraps(b.n, cur, next) {
+		return 1
+	}
+	if p.hop > 0 {
+		prev := p.path[p.hop-1]
+		if sameDimension(b.n, prev, cur, next) && p.vc == 1 {
+			return 1 // still in a dimension whose seam we crossed
+		}
+	}
+	return 0
+}
+
+// wraps reports whether the hop from a to b crosses a torus seam: the
+// rank difference is not one of the stride steps of a unit move. For
+// non-coordinated topologies it returns false (no seams).
+func wraps(n *Network, a, b int) bool {
+	co, ok := n.cfg.Topology.(interface{ Dims() []int })
+	if !ok {
+		return false
+	}
+	dims := co.Dims()
+	diff := b - a
+	if diff < 0 {
+		diff = -diff
+	}
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		if diff == stride {
+			return false // unit move in dimension i
+		}
+		if diff == stride*(dims[i]-1) {
+			return true // seam crossing in dimension i
+		}
+		stride *= dims[i]
+	}
+	return false
+}
+
+// sameDimension reports whether hops prev→cur and cur→next move in the
+// same dimension (equal absolute rank deltas modulo seam adjustment is
+// approximated by comparing which stride bucket each delta falls in).
+func sameDimension(n *Network, prev, cur, next int) bool {
+	return dimOf(n, prev, cur) == dimOf(n, cur, next)
+}
+
+func dimOf(n *Network, a, b int) int {
+	co, ok := n.cfg.Topology.(interface{ Dims() []int })
+	if !ok {
+		return 0
+	}
+	dims := co.Dims()
+	diff := b - a
+	if diff < 0 {
+		diff = -diff
+	}
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		if diff == stride || diff == stride*(dims[i]-1) {
+			return i
+		}
+		stride *= dims[i]
+	}
+	return -1
+}
+
+// start transmits p across link li; the downstream buffer credit is
+// consumed immediately (cut-through reservation).
+func (b *bufNetwork) start(li int, p *bufPacket) {
+	l := &b.links[li]
+	l.busy = true
+	l.credits[p.vc]--
+	tx := p.bytes / b.n.cfg.LinkBandwidth
+	b.n.busy[li] += tx
+	b.n.eng.After(tx, func() {
+		l.busy = false
+		b.pumpLink(li)
+		b.n.eng.After(b.n.cfg.LinkLatency, func() { b.arrive(li, p) })
+	})
+}
+
+// arrive lands p in the downstream buffer of link li.
+func (b *bufNetwork) arrive(li int, p *bufPacket) {
+	// Release the upstream buffer the packet came from.
+	if p.heldLink >= 0 {
+		b.release(p.heldLink, p.heldVC)
+	}
+	p.heldLink, p.heldVC = li, p.vc
+	p.hop++
+	if p.hop == len(p.path)-1 {
+		// Consumed at the destination: free the buffer at once.
+		b.release(p.heldLink, p.heldVC)
+		p.done()
+		return
+	}
+	b.request(p)
+}
+
+// release returns a credit and wakes a waiting packet if possible.
+func (b *bufNetwork) release(li, vc int) {
+	b.links[li].credits[vc]++
+	b.pumpLink(li)
+}
+
+// pumpLink starts the longest-waiting eligible packet on link li.
+func (b *bufNetwork) pumpLink(li int) {
+	l := &b.links[li]
+	if l.busy {
+		return
+	}
+	// VC 1 first: draining escape-channel traffic breaks dependency
+	// cycles fastest.
+	for vc := vchannels - 1; vc >= 0; vc-- {
+		if l.credits[vc] == 0 {
+			continue
+		}
+		if e := l.waiting[vc].Front(); e != nil {
+			l.waiting[vc].Remove(e)
+			b.start(li, e.Value.(*bufPacket))
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package netsim is a discrete-event interconnection-network simulator in
+// the spirit of BigNetSim (Zheng et al.), which the paper uses for its
+// §5.3 latency and completion-time studies. Messages are optionally split
+// into packets, routed deterministically over the topology's links, and
+// serialized over each link's finite bandwidth; contention appears as
+// queueing delay on busy links.
+//
+// The simulator is message-level store-and-forward with per-link FIFO
+// reservation: a packet arriving at a node reserves the next link from the
+// moment it becomes free, so concurrent flows through a link accumulate
+// delay exactly as queued packets would. This captures the phenomenon the
+// paper measures — latency exploding once offered load approaches link
+// capacity — without simulating individual flits.
+package netsim
+
+import "container/heap"
+
+// Engine is a discrete-event simulation core: a time-ordered queue of
+// callbacks. Events at equal times fire in scheduling order, keeping runs
+// deterministic.
+type Engine struct {
+	pq  eventHeap
+	now float64
+	seq int64
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn at the given absolute simulation time. Scheduling in
+// the past panics — it indicates a broken model.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now {
+		panic("netsim: scheduling into the past")
+	}
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After runs fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty and returns the final
+// simulation time.
+func (e *Engine) Run() float64 {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events (useful in tests).
+func (e *Engine) Pending() int { return e.pq.Len() }

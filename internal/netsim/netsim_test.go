@@ -1,0 +1,361 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	eng.Schedule(2.0, func() { order = append(order, 2) })
+	eng.Schedule(1.0, func() { order = append(order, 1) })
+	eng.Schedule(1.0, func() { order = append(order, 10) }) // same time: FIFO
+	eng.After(3.0, func() { order = append(order, 3) })
+	end := eng.Run()
+	want := []int{1, 10, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 3.0 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := &Engine{}
+	hits := 0
+	eng.Schedule(1, func() {
+		eng.After(1, func() { hits++ })
+	})
+	eng.Run()
+	if hits != 1 {
+		t.Errorf("hits = %d", hits)
+	}
+	if eng.Now() != 2 {
+		t.Errorf("Now() = %v, want 2", eng.Now())
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	eng := &Engine{}
+	eng.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic scheduling into the past")
+			}
+		}()
+		eng.Schedule(1, func() {})
+	})
+	eng.Run()
+}
+
+func TestConfigValidation(t *testing.T) {
+	to := topology.MustTorus(4)
+	eng := &Engine{}
+	bad := []Config{
+		{},
+		{Topology: to},
+		{Topology: to, LinkBandwidth: -1},
+		{Topology: to, LinkBandwidth: 1, LinkLatency: -1},
+		{Topology: to, LinkBandwidth: 1, PacketSize: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNetwork(eng, cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestSingleMessageLatency(t *testing.T) {
+	// 1 hop, 1000 bytes at 1e6 B/s + 1e-6 s/hop latency:
+	// latency = 1000/1e6 + 1e-6 = 1.001e-3.
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{
+		Topology: topology.MustTorus(4), LinkBandwidth: 1e6, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	net.Send(0, 1, 1000, func() { delivered = true })
+	eng.Run()
+	if !delivered {
+		t.Fatal("message not delivered")
+	}
+	s := net.Stats()
+	want := 1000/1e6 + 1e-6
+	if math.Abs(s.AvgLatency-want) > 1e-12 {
+		t.Errorf("latency = %v, want %v", s.AvgLatency, want)
+	}
+	if s.MessagesSent != 1 || s.MessagesDelivered != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMultiHopStoreAndForward(t *testing.T) {
+	// 3 hops without contention: store-and-forward pays the transmission
+	// time on every hop: 3*(S/bw + lat).
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{
+		Topology: topology.MustMesh(8), LinkBandwidth: 1e6, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 3, 500, nil)
+	eng.Run()
+	want := 3 * (500/1e6 + 1e-6)
+	if got := net.Stats().AvgLatency; math.Abs(got-want) > 1e-12 {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestSelfMessageImmediate(t *testing.T) {
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{Topology: topology.MustTorus(4), LinkBandwidth: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send(2, 2, 1e9, nil)
+	eng.Run()
+	if got := net.Stats().AvgLatency; got != 0 {
+		t.Errorf("self-message latency = %v, want 0", got)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two messages over the same link: the second waits for the first.
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{Topology: topology.MustMesh(2), LinkBandwidth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t2 float64
+	net.Send(0, 1, 1000, func() { t1 = eng.Now() }) // 1 s transmission
+	net.Send(0, 1, 1000, func() { t2 = eng.Now() })
+	eng.Run()
+	if math.Abs(t1-1) > 1e-12 {
+		t.Errorf("first delivery at %v, want 1", t1)
+	}
+	if math.Abs(t2-2) > 1e-12 {
+		t.Errorf("second delivery at %v, want 2 (serialized)", t2)
+	}
+	s := net.Stats()
+	if math.Abs(s.MaxLinkBusy-2) > 1e-12 {
+		t.Errorf("MaxLinkBusy = %v, want 2", s.MaxLinkBusy)
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	// Full-duplex links: 0->1 and 1->0 proceed in parallel.
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{Topology: topology.MustMesh(2), LinkBandwidth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t2 float64
+	net.Send(0, 1, 1000, func() { t1 = eng.Now() })
+	net.Send(1, 0, 1000, func() { t2 = eng.Now() })
+	eng.Run()
+	if math.Abs(t1-1) > 1e-12 || math.Abs(t2-1) > 1e-12 {
+		t.Errorf("deliveries at %v, %v; want both at 1", t1, t2)
+	}
+}
+
+func TestPacketizationPipelinesAcrossHops(t *testing.T) {
+	// With packetization, a long message overlaps transmission across
+	// consecutive hops and finishes sooner than monolithic store-and-forward.
+	run := func(packetSize int) float64 {
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{
+			Topology: topology.MustMesh(8), LinkBandwidth: 1e6, PacketSize: packetSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Send(0, 4, 4000, nil)
+		eng.Run()
+		return net.Stats().AvgLatency
+	}
+	mono := run(0)
+	packed := run(1000)
+	if packed >= mono {
+		t.Errorf("packetized latency %v >= monolithic %v", packed, mono)
+	}
+	// Monolithic: 4 hops * 4 ms = 16 ms. Packetized (cut-through-like):
+	// last packet leaves source at 4 ms and takes 3 more hops of 1 ms = 7 ms.
+	if math.Abs(mono-16e-3) > 1e-9 {
+		t.Errorf("monolithic latency = %v, want 16ms", mono)
+	}
+	if math.Abs(packed-7e-3) > 1e-9 {
+		t.Errorf("packetized latency = %v, want 7ms", packed)
+	}
+}
+
+func TestConservationAllMessagesDelivered(t *testing.T) {
+	eng := &Engine{}
+	to := topology.MustTorus(4, 4)
+	net, err := NewNetwork(eng, Config{Topology: to, LinkBandwidth: 1e6, LinkLatency: 1e-7, PacketSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a != b {
+				net.Send(a, b, 1000, nil)
+				sent++
+			}
+		}
+	}
+	eng.Run()
+	s := net.Stats()
+	if s.MessagesDelivered != sent || s.MessagesSent != sent {
+		t.Errorf("sent %d, stats %+v", sent, s)
+	}
+	if s.BytesSent != float64(sent)*1000 {
+		t.Errorf("BytesSent = %v", s.BytesSent)
+	}
+}
+
+func TestSendOverheadDelaysInjection(t *testing.T) {
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{Topology: topology.MustMesh(2), LinkBandwidth: 1000, SendOverhead: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at float64
+	net.Send(0, 1, 1000, func() { at = eng.Now() })
+	eng.Run()
+	if math.Abs(at-1.5) > 1e-12 {
+		t.Errorf("delivery at %v, want 1.5 (0.5 overhead + 1 transmission)", at)
+	}
+	// Latency excludes the overhead (measured from injection).
+	if got := net.Stats().AvgLatency; math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("latency = %v, want 1.0", got)
+	}
+}
+
+func TestCongestionGrowsAsBandwidthShrinks(t *testing.T) {
+	// The qualitative effect behind Figures 7–9: with fixed traffic,
+	// lower bandwidth means superlinear latency growth once links saturate.
+	lat := func(bw float64) float64 {
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{Topology: topology.MustTorus(4, 4), LinkBandwidth: bw, LinkLatency: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 16; a++ {
+			for b := 0; b < 16; b++ {
+				if a != b {
+					net.Send(a, b, 1e4, nil)
+				}
+			}
+		}
+		eng.Run()
+		return net.Stats().AvgLatency
+	}
+	l1, l2 := lat(1e9), lat(1e8)
+	if l2 <= l1 {
+		t.Errorf("latency at 100MB/s (%v) not above 1GB/s (%v)", l2, l1)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{
+		Topology: topology.MustMesh(2), LinkBandwidth: 1000, CollectLatencies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four serialized messages over one link: latencies 1, 2, 3, 4 s.
+	for i := 0; i < 4; i++ {
+		net.Send(0, 1, 1000, nil)
+	}
+	eng.Run()
+	s := net.Stats()
+	if s.P50 != 2 || s.P99 != 4 {
+		t.Errorf("P50 = %v (want 2), P99 = %v (want 4)", s.P50, s.P99)
+	}
+	if got := len(net.Latencies()); got != 4 {
+		t.Errorf("recorded %d latencies", got)
+	}
+}
+
+func TestPercentilesZeroWhenNotCollected(t *testing.T) {
+	eng := &Engine{}
+	net, err := NewNetwork(eng, Config{Topology: topology.MustMesh(2), LinkBandwidth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 1, 1000, nil)
+	eng.Run()
+	if s := net.Stats(); s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("percentiles populated without collection: %+v", s)
+	}
+	if net.Latencies() != nil {
+		t.Error("latencies recorded without collection")
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of the
+// scheduling order.
+func TestPropertyEngineMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := &Engine{}
+		last := -1.0
+		ok := true
+		for _, d := range delays {
+			at := float64(d) / 100
+			eng.Schedule(at, func() {
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total link busy time equals transmitted bytes / bandwidth for
+// any batch of single-hop messages.
+func TestPropertyBusyTimeConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		eng := &Engine{}
+		net, err := NewNetwork(eng, Config{Topology: topology.MustMesh(2), LinkBandwidth: 1e4})
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, s := range sizes {
+			b := float64(s) + 1
+			total += b
+			net.Send(0, 1, b, nil)
+		}
+		eng.Run()
+		st := net.Stats()
+		want := total / 1e4
+		return math.Abs(st.MaxLinkBusy-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/taskgraph"
+)
+
+// mgraph is the internal CSR graph the multilevel algorithm manipulates.
+// Unlike taskgraph.Graph it is cheap to build level by level.
+type mgraph struct {
+	n      int
+	xadj   []int32
+	adjncy []int32
+	adjwgt []float64
+	vwgt   []float64
+}
+
+func fromTaskGraph(g *taskgraph.Graph) *mgraph {
+	n := g.NumVertices()
+	m := &mgraph{n: n, xadj: make([]int32, n+1), vwgt: make([]float64, n)}
+	total := 0
+	for v := 0; v < n; v++ {
+		m.vwgt[v] = g.VertexWeight(v)
+		total += g.Degree(v)
+	}
+	m.adjncy = make([]int32, 0, total)
+	m.adjwgt = make([]float64, 0, total)
+	for v := 0; v < n; v++ {
+		adj, w := g.Neighbors(v)
+		m.adjncy = append(m.adjncy, adj...)
+		m.adjwgt = append(m.adjwgt, w...)
+		m.xadj[v+1] = int32(len(m.adjncy))
+	}
+	return m
+}
+
+func (m *mgraph) neighbors(v int32) ([]int32, []float64) {
+	lo, hi := m.xadj[v], m.xadj[v+1]
+	return m.adjncy[lo:hi], m.adjwgt[lo:hi]
+}
+
+func (m *mgraph) totalVwgt() float64 {
+	s := 0.0
+	for _, w := range m.vwgt {
+		s += w
+	}
+	return s
+}
+
+// coarsen matches vertices by heavy-edge matching and contracts matched
+// pairs, returning the coarse graph and the fine→coarse vertex map.
+// maxVwgt bounds the weight of a contracted vertex so one giant vertex
+// cannot make balanced partitioning impossible.
+func (m *mgraph) coarsen(rng *rand.Rand, maxVwgt float64) (*mgraph, []int32) {
+	match := make([]int32, m.n)
+	for i := range match {
+		match[i] = -1
+	}
+	perm := rng.Perm(m.n)
+	cmap := make([]int32, m.n)
+	coarseN := int32(0)
+	for _, vi := range perm {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		bestW := -1.0
+		adj, w := m.neighbors(v)
+		for i, u := range adj {
+			if match[u] < 0 && w[i] > bestW && m.vwgt[v]+m.vwgt[u] <= maxVwgt {
+				best, bestW = u, w[i]
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			cmap[v], cmap[best] = coarseN, coarseN
+		} else {
+			match[v] = v
+			cmap[v] = coarseN
+		}
+		coarseN++
+	}
+	// Build coarse adjacency by accumulating fine edges between distinct
+	// coarse endpoints.
+	type edge struct {
+		u int32
+		w float64
+	}
+	acc := make([]map[int32]float64, coarseN)
+	cv := make([]float64, coarseN)
+	for v := int32(0); v < int32(m.n); v++ {
+		c := cmap[v]
+		cv[c] += m.vwgt[v]
+		adj, w := m.neighbors(v)
+		for i, u := range adj {
+			cu := cmap[u]
+			if cu == c {
+				continue
+			}
+			if acc[c] == nil {
+				acc[c] = make(map[int32]float64)
+			}
+			acc[c][cu] += w[i]
+		}
+	}
+	coarse := &mgraph{n: int(coarseN), xadj: make([]int32, coarseN+1), vwgt: cv}
+	var buf []edge
+	for c := int32(0); c < coarseN; c++ {
+		buf = buf[:0]
+		for u, w := range acc[c] {
+			buf = append(buf, edge{u, w})
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i].u < buf[j].u })
+		for _, e := range buf {
+			coarse.adjncy = append(coarse.adjncy, e.u)
+			coarse.adjwgt = append(coarse.adjwgt, e.w)
+		}
+		coarse.xadj[c+1] = int32(len(coarse.adjncy))
+	}
+	return coarse, cmap
+}
+
+// extract builds the subgraph induced by the selected vertices (given as
+// original indices); edges leaving the selection are dropped. Returns the
+// subgraph; sub-vertex i corresponds to sel[i].
+func (m *mgraph) extract(sel []int32) *mgraph {
+	inv := make(map[int32]int32, len(sel))
+	for i, v := range sel {
+		inv[v] = int32(i)
+	}
+	sub := &mgraph{n: len(sel), xadj: make([]int32, len(sel)+1), vwgt: make([]float64, len(sel))}
+	for i, v := range sel {
+		sub.vwgt[i] = m.vwgt[v]
+		adj, w := m.neighbors(v)
+		for j, u := range adj {
+			if su, ok := inv[u]; ok {
+				sub.adjncy = append(sub.adjncy, su)
+				sub.adjwgt = append(sub.adjwgt, w[j])
+			}
+		}
+		sub.xadj[i+1] = int32(len(sub.adjncy))
+	}
+	return sub
+}

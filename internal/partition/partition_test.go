@@ -1,0 +1,218 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestGreedyBalancesLoad(t *testing.T) {
+	g := taskgraph.Random(100, 300, 1, 10, 1)
+	r, err := Greedy{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if imb := r.Imbalance(g); imb > 1.1 {
+		t.Errorf("greedy imbalance = %v, want <= 1.1", imb)
+	}
+}
+
+func TestGreedyIdentityWhenNEqualsK(t *testing.T) {
+	g := taskgraph.Ring(10, 1)
+	r, err := Greedy{}.Partition(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := r.GroupSizes()
+	for p, s := range sizes {
+		if s != 1 {
+			t.Errorf("group %d has %d vertices, want 1", p, s)
+		}
+	}
+}
+
+func TestPartitionArgErrors(t *testing.T) {
+	g := taskgraph.Ring(5, 1)
+	for _, part := range []Partitioner{Greedy{}, Multilevel{}} {
+		if _, err := part.Partition(g, 0); err == nil {
+			t.Errorf("%s: k=0 want error", part.Name())
+		}
+		if _, err := part.Partition(g, 6); err == nil {
+			t.Errorf("%s: k>n want error", part.Name())
+		}
+	}
+}
+
+func TestGreedyZeroWeightsStillNonEmpty(t *testing.T) {
+	b := taskgraph.NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.SetVertexWeight(v, 0)
+	}
+	b.AddEdge(0, 1, 1)
+	g := b.Build("zeros")
+	r, err := Greedy{}.Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultilevelValidAndBalanced(t *testing.T) {
+	for _, k := range []int{2, 3, 7, 16} {
+		g := taskgraph.Mesh2D(16, 16, 100)
+		r, err := Multilevel{Seed: 1}.Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := r.Imbalance(g); imb > 1.25 {
+			t.Errorf("k=%d: imbalance %v > 1.25", k, imb)
+		}
+	}
+}
+
+func TestMultilevelK1(t *testing.T) {
+	g := taskgraph.Ring(20, 1)
+	r, err := Multilevel{}.Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut(g) != 0 {
+		t.Error("k=1 should have zero cut")
+	}
+}
+
+func TestMultilevelBeatsGreedyOnCut(t *testing.T) {
+	// On a strongly-local mesh, a topology-aware partitioner must achieve a
+	// far smaller edge cut than load-only greedy.
+	g := taskgraph.Mesh2D(24, 24, 100)
+	mr, err := Multilevel{Seed: 3}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, gc := mr.EdgeCut(g), gr.EdgeCut(g)
+	if mc >= gc {
+		t.Errorf("multilevel cut %v >= greedy cut %v", mc, gc)
+	}
+	if mc > 0.25*gc {
+		t.Errorf("multilevel cut %v not substantially below greedy %v", mc, gc)
+	}
+}
+
+func TestMultilevelDeterministicPerSeed(t *testing.T) {
+	g := taskgraph.Random(200, 600, 1, 10, 9)
+	r1, err := Multilevel{Seed: 5}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Multilevel{Seed: 5}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Assign {
+		if r1.Assign[v] != r2.Assign[v] {
+			t.Fatal("multilevel not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestMultilevelMeshCutNearOptimal(t *testing.T) {
+	// Bisecting a 16x16 unit-weight mesh: optimal cut is 16 edges x 100.
+	g := taskgraph.Mesh2D(16, 16, 100)
+	r, err := Multilevel{Seed: 2}.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := r.EdgeCut(g); cut > 2*1600 {
+		t.Errorf("bisection cut %v, optimal 1600, want <= 2x optimal", cut)
+	}
+}
+
+func TestQuotientStructure(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 10)
+	r, err := Multilevel{Seed: 1}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quotient(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 4 {
+		t.Fatalf("quotient has %d vertices", q.NumVertices())
+	}
+	// Quotient total communication equals the edge cut.
+	if diff := math.Abs(q.TotalComm() - r.EdgeCut(g)); diff > 1e-9 {
+		t.Errorf("quotient comm %v != edge cut %v", q.TotalComm(), r.EdgeCut(g))
+	}
+	// Quotient total load equals graph total load.
+	if diff := math.Abs(q.TotalLoad() - g.TotalLoad()); diff > 1e-9 {
+		t.Errorf("quotient load %v != graph load %v", q.TotalLoad(), g.TotalLoad())
+	}
+}
+
+func TestQuotientRejectsInvalid(t *testing.T) {
+	g := taskgraph.Ring(5, 1)
+	if _, err := Quotient(g, &Result{Assign: []int{0, 0, 0}, K: 1}); err == nil {
+		t.Error("want error for wrong-length assignment")
+	}
+	if _, err := Quotient(g, &Result{Assign: []int{0, 0, 0, 0, 0}, K: 2}); err == nil {
+		t.Error("want error for empty group")
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	g := taskgraph.Ring(4, 1)
+	r := &Result{Assign: []int{0, 1, 2, 3}, K: 3}
+	if err := r.Validate(g); err == nil {
+		t.Error("want error for out-of-range group")
+	}
+}
+
+func TestLeanMDPartitionQuotientDensity(t *testing.T) {
+	// Reproduces the paper's observation: at p=18 the coalesced LeanMD
+	// graph is dense (each group talks to ~70% of groups); at larger p it
+	// becomes sparse, creating room for topology-aware placement.
+	g := taskgraph.LeanMD(18, 1000, 1)
+	r, err := Multilevel{Seed: 1}.Partition(g, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quotient(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := q.AverageDegree() / float64(q.NumVertices()-1)
+	if density < 0.4 {
+		t.Errorf("p=18 quotient density %v, want >= 0.4 (paper: ~0.7)", density)
+	}
+
+	g2 := taskgraph.LeanMD(512, 1000, 1)
+	r2, err := Multilevel{Seed: 1}.Partition(g2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Quotient(g2, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density2 := q2.AverageDegree() / float64(q2.NumVertices()-1)
+	if density2 > 0.25 {
+		t.Errorf("p=512 quotient density %v, want sparse (paper: ~0.04)", density2)
+	}
+	if density2 >= density {
+		t.Errorf("density should fall with p: %v vs %v", density2, density)
+	}
+}

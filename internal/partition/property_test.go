@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taskgraph"
+)
+
+// TestPropertyPartitionsAlwaysValid: both partitioners produce valid,
+// non-empty partitions for random graphs and random k.
+func TestPropertyPartitionsAlwaysValid(t *testing.T) {
+	parts := []Partitioner{Greedy{}, Multilevel{Seed: 11}}
+	f := func(seed int64, nn, kk uint8) bool {
+		n := 4 + int(nn)%60
+		k := 1 + int(kk)%n
+		g := taskgraph.Random(n, n*2, 1, 20, seed)
+		for _, p := range parts {
+			r, err := p.Partition(g, k)
+			if err != nil {
+				return false
+			}
+			if r.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQuotientConservation: quotient graph conserves load, and its
+// communication volume equals the edge cut, for arbitrary valid partitions.
+func TestPropertyQuotientConservation(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		n := 30
+		k := 2 + int(kk)%10
+		g := taskgraph.Random(n, 90, 1, 9, seed)
+		r, err := Multilevel{Seed: seed}.Partition(g, k)
+		if err != nil {
+			return false
+		}
+		q, err := Quotient(g, r)
+		if err != nil {
+			return false
+		}
+		dLoad := q.TotalLoad() - g.TotalLoad()
+		dCut := q.TotalComm() - r.EdgeCut(g)
+		return dLoad < 1e-6 && dLoad > -1e-6 && dCut < 1e-6 && dCut > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEdgeCutAtMostTotalComm: the cut can never exceed the total
+// communication volume.
+func TestPropertyEdgeCutAtMostTotalComm(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		g := taskgraph.Random(25, 70, 1, 5, seed)
+		k := 2 + int(kk)%8
+		r, err := Greedy{}.Partition(g, k)
+		if err != nil {
+			return false
+		}
+		return r.EdgeCut(g) <= g.TotalComm()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

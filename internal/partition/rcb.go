@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/taskgraph"
+)
+
+// RCB is recursive coordinate bisection, the classic geometric partitioner
+// for spatially decomposed applications (molecular dynamics, particle and
+// mesh codes): the point set is recursively split at the weighted median
+// along its longest-extent axis, producing compact axis-aligned blocks.
+// It ignores the communication graph entirely — locality comes from
+// geometry — which makes it extremely fast and, on spatial workloads,
+// surprisingly competitive with graph partitioners.
+type RCB struct {
+	// Coords[v] is task v's position; all tasks must share one dimension
+	// count (1–8).
+	Coords [][]float64
+}
+
+// Name implements Partitioner.
+func (RCB) Name() string { return "rcb" }
+
+// Partition implements Partitioner.
+func (r RCB) Partition(g *taskgraph.Graph, k int) (*Result, error) {
+	if err := checkArgs(g, k); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if len(r.Coords) != n {
+		return nil, fmt.Errorf("partition: rcb has %d coordinates for %d tasks", len(r.Coords), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	dims := len(r.Coords[0])
+	if dims < 1 || dims > 8 {
+		return nil, fmt.Errorf("partition: rcb supports 1-8 coordinate dimensions, got %d", dims)
+	}
+	for v, c := range r.Coords {
+		if len(c) != dims {
+			return nil, fmt.Errorf("partition: task %d has %d coordinates, want %d", v, len(c), dims)
+		}
+	}
+	assign := make([]int, n)
+	tasks := make([]int, n)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	r.bisect(g, tasks, k, 0, assign)
+	res := &Result{Assign: assign, K: k}
+	repairEmptyGroups(g, res)
+	return res, nil
+}
+
+// bisect assigns parts [offset, offset+k) to tasks.
+func (r RCB) bisect(g *taskgraph.Graph, tasks []int, k, offset int, assign []int) {
+	if k == 1 {
+		for _, v := range tasks {
+			assign[v] = offset
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	k2 := k - k1
+	// Longest-extent axis of this block.
+	dims := len(r.Coords[tasks[0]])
+	axis, bestExtent := 0, -1.0
+	for d := 0; d < dims; d++ {
+		lo, hi := r.Coords[tasks[0]][d], r.Coords[tasks[0]][d]
+		for _, v := range tasks {
+			c := r.Coords[v][d]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > bestExtent {
+			axis, bestExtent = d, hi-lo
+		}
+	}
+	// Sort by the chosen axis (ties by id for determinism) and cut at the
+	// weighted point closest to the k1/k load fraction, keeping at least
+	// k1 tasks left and k2 right.
+	sorted := append([]int(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if r.Coords[a][axis] != r.Coords[b][axis] {
+			return r.Coords[a][axis] < r.Coords[b][axis]
+		}
+		return a < b
+	})
+	total := 0.0
+	for _, v := range sorted {
+		total += g.VertexWeight(v)
+	}
+	target := total * float64(k1) / float64(k)
+	cut, acc := 0, 0.0
+	for cut < len(sorted)-k2 && (acc < target || cut < k1) {
+		acc += g.VertexWeight(sorted[cut])
+		cut++
+	}
+	r.bisect(g, sorted[:cut], k1, offset, assign)
+	r.bisect(g, sorted[cut:], k2, offset+k1, assign)
+}

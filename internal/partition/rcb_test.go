@@ -1,0 +1,123 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// gridCoords lays out an rx × ry mesh pattern's tasks on the unit grid.
+func gridCoords(rx, ry int) [][]float64 {
+	coords := make([][]float64, rx*ry)
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			coords[x*ry+y] = []float64{float64(x), float64(y)}
+		}
+	}
+	return coords
+}
+
+func TestRCBValidation(t *testing.T) {
+	g := taskgraph.Mesh2D(4, 4, 10)
+	if _, err := (RCB{}).Partition(g, 4); err == nil {
+		t.Error("missing coords: want error")
+	}
+	if _, err := (RCB{Coords: gridCoords(4, 4)}).Partition(g, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	bad := gridCoords(4, 4)
+	bad[3] = []float64{1}
+	if _, err := (RCB{Coords: bad}).Partition(g, 4); err == nil {
+		t.Error("ragged coords: want error")
+	}
+}
+
+func TestRCBBalancedAndValid(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 10)
+	for _, k := range []int{2, 3, 4, 7, 16} {
+		r, err := (RCB{Coords: gridCoords(8, 8)}).Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := r.Imbalance(g); imb > 1.35 {
+			t.Errorf("k=%d: imbalance %v", k, imb)
+		}
+	}
+}
+
+func TestRCBSpatialCoherence(t *testing.T) {
+	// On a grid workload, RCB's axis-aligned blocks should cut far fewer
+	// edges than load-only greedy.
+	g := taskgraph.Mesh2D(16, 16, 100)
+	rcb, err := (RCB{Coords: gridCoords(16, 16)}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1, c2 := rcb.EdgeCut(g), gr.EdgeCut(g); c1 >= c2/2 {
+		t.Errorf("rcb cut %v not well below greedy %v", c1, c2)
+	}
+}
+
+func TestRCBPowerOfTwoGridIsExact(t *testing.T) {
+	// 4x4 grid into 4 parts: each part is a 2x2 block with zero internal
+	// imbalance.
+	g := taskgraph.Mesh2D(4, 4, 1)
+	r, err := (RCB{Coords: gridCoords(4, 4)}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := r.GroupSizes()
+	for p, s := range sizes {
+		if s != 4 {
+			t.Errorf("group %d has %d tasks, want 4", p, s)
+		}
+	}
+}
+
+func TestRCBOnLeanMDCoordinates(t *testing.T) {
+	const p = 32
+	g := taskgraph.LeanMD(p, 1e4, 1)
+	coords := taskgraph.LeanMDCoords(p)
+	if len(coords) != g.NumVertices() {
+		t.Fatalf("coords cover %d of %d chares", len(coords), g.NumVertices())
+	}
+	r, err := (RCB{Coords: coords}).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Spatial partitioning must beat load-only greedy on cut.
+	gr, err := Greedy{}.Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1, c2 := r.EdgeCut(g), gr.EdgeCut(g); c1 >= c2 {
+		t.Errorf("rcb cut %v not below greedy %v", c1, c2)
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	g := taskgraph.Mesh2D(8, 8, 10)
+	r1, err := (RCB{Coords: gridCoords(8, 8)}).Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (RCB{Coords: gridCoords(8, 8)}).Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Assign {
+		if r1.Assign[v] != r2.Assign[v] {
+			t.Fatal("rcb not deterministic")
+		}
+	}
+}

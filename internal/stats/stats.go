@@ -1,0 +1,84 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses for seed sweeps: summary statistics and normal-theory
+// confidence intervals, so random-placement baselines report a mean ±
+// half-width instead of a single draw.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N             int
+	Mean          float64
+	StdDev        float64 // sample standard deviation (n−1)
+	Min, Max      float64
+	Median        float64
+	CI95HalfWidth float64 // normal-approximation 95 % half width
+}
+
+// Summarize computes summary statistics; it panics on an empty sample to
+// surface harness bugs immediately.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+		s.CI95HalfWidth = 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	return s
+}
+
+// String formats the summary as "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95HalfWidth, s.N)
+}
+
+// Sweep evaluates f at each seed and summarizes the results.
+func Sweep(seeds int, f func(seed int64) float64) Summary {
+	if seeds < 1 {
+		panic("stats: need at least one seed")
+	}
+	xs := make([]float64, seeds)
+	for i := range xs {
+		xs[i] = f(int64(i) + 1)
+	}
+	return Summarize(xs)
+}
+
+// RelativeChange returns (b − a) / a, the fractional change from a to b;
+// it panics when a is zero.
+func RelativeChange(a, b float64) float64 {
+	if a == 0 {
+		panic("stats: relative change from zero")
+	}
+	return (b - a) / a
+}

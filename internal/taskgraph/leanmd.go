@@ -1,0 +1,130 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LeanMDCells is the fixed number of cell chares in the synthetic LeanMD
+// workload: an 18 × 15 × 12 spatial decomposition, so that — as in the
+// paper's LeanMD dumps — the total chare count is LeanMDCells + p.
+const LeanMDCells = 18 * 15 * 12
+
+// LeanMD synthesizes a molecular-dynamics communication graph standing in
+// for the paper's LeanMD load-database dumps (which are not public). It
+// has 3240 + p chares:
+//
+//   - 3240 "cell" chares on an 18×15×12 spatial grid. Each cell exchanges
+//     boundary atoms with the cells in its 26-neighborhood; face-sharing
+//     neighbors carry 4× the bytes of corner-sharing ones (edge-sharing 2×),
+//     matching the surface-area scaling of spatial decomposition.
+//   - p "integrator" chares, one per target processor, each exchanging
+//     light control traffic with a contiguous block of ≈3240/p cells.
+//
+// Cell computation load varies ±25 % pseudo-randomly around 1.0 (density
+// fluctuations). Deterministic for a given seed.
+func LeanMD(p int, msgBytes float64, seed int64) *Graph {
+	if p < 1 {
+		panic("taskgraph: LeanMD needs p >= 1")
+	}
+	const cx, cy, cz = 18, 15, 12
+	rng := rand.New(rand.NewSource(seed))
+	n := LeanMDCells + p
+	b := NewBuilder(n)
+	id := func(x, y, z int) int { return (x*cy+y)*cz + z }
+	for x := 0; x < cx; x++ {
+		for y := 0; y < cy; y++ {
+			for z := 0; z < cz; z++ {
+				v := id(x, y, z)
+				b.SetVertexWeight(v, 0.75+rng.Float64()*0.5)
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							nx, ny, nz := x+dx, y+dy, z+dz
+							if nx < 0 || nx >= cx || ny < 0 || ny >= cy || nz < 0 || nz >= cz {
+								continue
+							}
+							u := id(nx, ny, nz)
+							if u < v {
+								continue // add each pair once
+							}
+							shared := 3 // 3 - |dx|-|dy|-|dz| nonzero offsets
+							if dx != 0 {
+								shared--
+							}
+							if dy != 0 {
+								shared--
+							}
+							if dz != 0 {
+								shared--
+							}
+							// shared==2: face (4×), 1: edge (2×), 0: corner (1×).
+							b.AddEdge(v, u, msgBytes*float64(int(1)<<uint(shared)))
+						}
+					}
+				}
+			}
+		}
+	}
+	// Integrator chares: light control traffic to a contiguous cell block.
+	per := LeanMDCells / p
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < p; i++ {
+		v := LeanMDCells + i
+		b.SetVertexWeight(v, 0.25)
+		lo := (i * LeanMDCells) / p
+		hi := lo + per
+		if hi > LeanMDCells {
+			hi = LeanMDCells
+		}
+		for c := lo; c < hi; c++ {
+			b.AddEdge(v, c, msgBytes/8)
+		}
+	}
+	return b.Build(fmt.Sprintf("leanmd(p=%d,seed=%d)", p, seed))
+}
+
+// LeanMDCoords returns the spatial coordinates of the LeanMD workload's
+// chares for geometric partitioners: each cell at its grid position, each
+// integrator at the centroid of its cell block. The layout matches
+// LeanMD(p, ...) for any message size and seed.
+func LeanMDCoords(p int) [][]float64 {
+	const cx, cy, cz = 18, 15, 12
+	coords := make([][]float64, LeanMDCells+p)
+	i := 0
+	for x := 0; x < cx; x++ {
+		for y := 0; y < cy; y++ {
+			for z := 0; z < cz; z++ {
+				coords[i] = []float64{float64(x), float64(y), float64(z)}
+				i++
+			}
+		}
+	}
+	per := LeanMDCells / p
+	if per < 1 {
+		per = 1
+	}
+	for j := 0; j < p; j++ {
+		lo := (j * LeanMDCells) / p
+		hi := lo + per
+		if hi > LeanMDCells {
+			hi = LeanMDCells
+		}
+		cen := []float64{0, 0, 0}
+		for c := lo; c < hi; c++ {
+			for d := 0; d < 3; d++ {
+				cen[d] += coords[c][d]
+			}
+		}
+		for d := range cen {
+			cen[d] /= float64(hi - lo)
+		}
+		coords[LeanMDCells+j] = cen
+	}
+	return coords
+}

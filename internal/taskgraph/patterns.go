@@ -1,0 +1,96 @@
+package taskgraph
+
+import "fmt"
+
+// Mesh2D builds the paper's principal benchmark pattern: rx × ry tasks in a
+// logical 2D mesh, each exchanging msgBytes per iteration with its 4
+// neighbors (3 on the boundary, 2 in the corners).
+func Mesh2D(rx, ry int, msgBytes float64) *Graph {
+	if rx < 1 || ry < 1 {
+		panic("taskgraph: Mesh2D extents must be >= 1")
+	}
+	b := NewBuilder(rx * ry)
+	id := func(x, y int) int { return x*ry + y }
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			if x+1 < rx {
+				b.AddEdge(id(x, y), id(x+1, y), msgBytes)
+			}
+			if y+1 < ry {
+				b.AddEdge(id(x, y), id(x, y+1), msgBytes)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("mesh2d(%d,%d)", rx, ry))
+}
+
+// Mesh3D builds a 3D Jacobi-like pattern (Table 1's workload): tasks in an
+// rx × ry × rz grid, each exchanging msgBytes with its up-to-6 face
+// neighbors per iteration.
+func Mesh3D(rx, ry, rz int, msgBytes float64) *Graph {
+	if rx < 1 || ry < 1 || rz < 1 {
+		panic("taskgraph: Mesh3D extents must be >= 1")
+	}
+	b := NewBuilder(rx * ry * rz)
+	id := func(x, y, z int) int { return (x*ry+y)*rz + z }
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			for z := 0; z < rz; z++ {
+				if x+1 < rx {
+					b.AddEdge(id(x, y, z), id(x+1, y, z), msgBytes)
+				}
+				if y+1 < ry {
+					b.AddEdge(id(x, y, z), id(x, y+1, z), msgBytes)
+				}
+				if z+1 < rz {
+					b.AddEdge(id(x, y, z), id(x, y, z+1), msgBytes)
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("mesh3d(%d,%d,%d)", rx, ry, rz))
+}
+
+// Ring builds n tasks in a cycle, each exchanging msgBytes with both
+// neighbors.
+func Ring(n int, msgBytes float64) *Graph {
+	if n < 3 {
+		panic("taskgraph: Ring needs at least 3 tasks")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, msgBytes)
+	}
+	return b.Build(fmt.Sprintf("ring(%d)", n))
+}
+
+// Torus2D builds an rx × ry pattern with wraparound neighbor exchange.
+func Torus2D(rx, ry int, msgBytes float64) *Graph {
+	if rx < 3 || ry < 3 {
+		panic("taskgraph: Torus2D extents must be >= 3")
+	}
+	b := NewBuilder(rx * ry)
+	id := func(x, y int) int { return x*ry + y }
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			b.AddEdge(id(x, y), id((x+1)%rx, y), msgBytes)
+			b.AddEdge(id(x, y), id(x, (y+1)%ry), msgBytes)
+		}
+	}
+	return b.Build(fmt.Sprintf("torus2d(%d,%d)", rx, ry))
+}
+
+// AllToAll builds n tasks each exchanging msgBytes with every other task —
+// the worst case for topology-aware mapping (no locality to exploit).
+func AllToAll(n int, msgBytes float64) *Graph {
+	if n < 2 {
+		panic("taskgraph: AllToAll needs at least 2 tasks")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j, msgBytes)
+		}
+	}
+	return b.Build(fmt.Sprintf("alltoall(%d)", n))
+}

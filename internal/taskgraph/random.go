@@ -1,0 +1,66 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Random builds a connected random task graph on n vertices with roughly m
+// edges: a random Hamiltonian cycle (for connectivity) plus m−n uniformly
+// random extra edges. Edge weights are uniform in [minW, maxW); vertex
+// weights are uniform in [0.5, 1.5). Deterministic for a given seed.
+func Random(n, m int, minW, maxW float64, seed int64) *Graph {
+	if n < 3 {
+		panic("taskgraph: Random needs at least 3 vertices")
+	}
+	if m < n {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	perm := rng.Perm(n)
+	w := func() float64 { return minW + rng.Float64()*(maxW-minW) }
+	for i := 0; i < n; i++ {
+		b.AddEdge(perm[i], perm[(i+1)%n], w())
+	}
+	for e := 0; e < m-n; e++ {
+		a, c := rng.Intn(n), rng.Intn(n)
+		if a != c {
+			b.AddEdge(a, c, w())
+		}
+	}
+	for v := 0; v < n; v++ {
+		b.SetVertexWeight(v, 0.5+rng.Float64())
+	}
+	return b.Build(fmt.Sprintf("random(n=%d,m=%d,seed=%d)", n, m, seed))
+}
+
+// RandomGeometric places n points uniformly in the unit square and connects
+// pairs closer than radius, weighting edges inversely with distance — a
+// spatial communication structure similar to domain-decomposed codes.
+// The generated graph may be disconnected for small radii.
+func RandomGeometric(n int, radius float64, msgBytes float64, seed int64) *Graph {
+	if n < 2 {
+		panic("taskgraph: RandomGeometric needs at least 2 vertices")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d < radius {
+				// Closer pairs exchange more data, never exceeding msgBytes.
+				b.AddEdge(i, j, msgBytes*(1-d/radius))
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("rgg(n=%d,r=%g,seed=%d)", n, radius, seed))
+}

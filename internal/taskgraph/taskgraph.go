@@ -1,0 +1,182 @@
+// Package taskgraph represents parallel applications as weighted undirected
+// graphs, following the paper's process-based model: vertices are persistent
+// communicating tasks (chares, or groups of chares), vertex weights are
+// computation load, and edge weights are the total bytes exchanged between
+// the two endpoint tasks per iteration — there are no DAG dependencies.
+//
+// Graphs are stored in compressed sparse row (CSR) form so the mapping
+// algorithms' inner loops touch contiguous memory. Construction goes
+// through a Builder, which combines duplicate edges by summing weights.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable weighted undirected task graph in CSR form.
+type Graph struct {
+	name   string
+	vwgt   []float64 // computation weight per vertex
+	xadj   []int32   // CSR row offsets, len n+1
+	adjncy []int32   // concatenated adjacency lists
+	adjwgt []float64 // edge weight (bytes) parallel to adjncy
+}
+
+// Builder accumulates vertices and edges for a Graph. The zero Builder is
+// not usable; call NewBuilder.
+type Builder struct {
+	n    int
+	vwgt []float64
+	adj  []map[int32]float64 // adjacency with weight accumulation
+}
+
+// NewBuilder creates a builder for a graph on n vertices, all with vertex
+// weight 1.
+func NewBuilder(n int) *Builder {
+	if n < 1 {
+		panic(fmt.Sprintf("taskgraph: need at least 1 vertex, got %d", n))
+	}
+	b := &Builder{n: n, vwgt: make([]float64, n), adj: make([]map[int32]float64, n)}
+	for i := range b.vwgt {
+		b.vwgt[i] = 1
+	}
+	return b
+}
+
+// SetVertexWeight sets the computation weight of v.
+func (b *Builder) SetVertexWeight(v int, w float64) *Builder {
+	if w < 0 {
+		panic("taskgraph: negative vertex weight")
+	}
+	b.vwgt[v] = w
+	return b
+}
+
+// AddEdge adds bytes of communication between a and b. Repeated calls for
+// the same pair accumulate. Self-communication (a == b) is intra-processor
+// by construction and is dropped, matching the paper's model where only
+// inter-task edges contribute to hop-bytes.
+func (b *Builder) AddEdge(a, v int, bytes float64) *Builder {
+	if a < 0 || a >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("taskgraph: edge (%d,%d) out of range [0,%d)", a, v, b.n))
+	}
+	if bytes < 0 {
+		panic("taskgraph: negative edge weight")
+	}
+	if a == v || bytes == 0 {
+		return b
+	}
+	if b.adj[a] == nil {
+		b.adj[a] = make(map[int32]float64)
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[int32]float64)
+	}
+	b.adj[a][int32(v)] += bytes
+	b.adj[v][int32(a)] += bytes
+	return b
+}
+
+// Build finalizes the graph. Adjacency lists are sorted by neighbor index
+// for determinism.
+func (b *Builder) Build(name string) *Graph {
+	g := &Graph{name: name, vwgt: b.vwgt, xadj: make([]int32, b.n+1)}
+	total := 0
+	for _, m := range b.adj {
+		total += len(m)
+	}
+	g.adjncy = make([]int32, 0, total)
+	g.adjwgt = make([]float64, 0, total)
+	for v := 0; v < b.n; v++ {
+		keys := make([]int32, 0, len(b.adj[v]))
+		for u := range b.adj[v] {
+			keys = append(keys, u)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, u := range keys {
+			g.adjncy = append(g.adjncy, u)
+			g.adjwgt = append(g.adjwgt, b.adj[v][u])
+		}
+		g.xadj[v+1] = int32(len(g.adjncy))
+	}
+	return g
+}
+
+// Name returns the graph's descriptive name.
+func (g *Graph) Name() string { return g.name }
+
+// NumVertices returns the number of tasks.
+func (g *Graph) NumVertices() int { return len(g.vwgt) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adjncy) / 2 }
+
+// VertexWeight returns the computation weight of v.
+func (g *Graph) VertexWeight(v int) float64 { return g.vwgt[v] }
+
+// Degree returns the number of distinct communication partners of v.
+func (g *Graph) Degree(v int) int { return int(g.xadj[v+1] - g.xadj[v]) }
+
+// Neighbors returns v's adjacency and parallel edge-weight slices. The
+// returned slices alias internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) ([]int32, []float64) {
+	lo, hi := g.xadj[v], g.xadj[v+1]
+	return g.adjncy[lo:hi], g.adjwgt[lo:hi]
+}
+
+// EdgeWeight returns the bytes exchanged between a and b (0 if no edge).
+// Adjacency lists are sorted, so this is a binary search.
+func (g *Graph) EdgeWeight(a, b int) float64 {
+	adj, w := g.Neighbors(a)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(b) })
+	if i < len(adj) && adj[i] == int32(b) {
+		return w[i]
+	}
+	return 0
+}
+
+// TotalComm returns the total communication volume Σ c_ab over undirected
+// edges — the denominator of hops-per-byte.
+func (g *Graph) TotalComm() float64 {
+	sum := 0.0
+	for _, w := range g.adjwgt {
+		sum += w
+	}
+	return sum / 2
+}
+
+// TotalLoad returns the total computation weight.
+func (g *Graph) TotalLoad() float64 {
+	sum := 0.0
+	for _, w := range g.vwgt {
+		sum += w
+	}
+	return sum
+}
+
+// WeightedDegree returns the total communication volume incident to v.
+func (g *Graph) WeightedDegree(v int) float64 {
+	_, w := g.Neighbors(v)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	return sum
+}
+
+// MaxDegree returns the largest vertex degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if dv := g.Degree(v); dv > d {
+			d = dv
+		}
+	}
+	return d
+}
+
+// AverageDegree returns the mean vertex degree.
+func (g *Graph) AverageDegree() float64 {
+	return float64(len(g.adjncy)) / float64(g.NumVertices())
+}

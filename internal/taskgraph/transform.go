@@ -1,0 +1,114 @@
+package taskgraph
+
+import "fmt"
+
+// Scale returns a copy of g with every edge weight multiplied by factor
+// (message-size scaling) — vertex weights are unchanged.
+func Scale(g *Graph, factor float64) *Graph {
+	if factor < 0 {
+		panic("taskgraph: negative scale factor")
+	}
+	b := NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.SetVertexWeight(v, g.VertexWeight(v))
+		adj, w := g.Neighbors(v)
+		for i, u := range adj {
+			if int32(v) < u {
+				b.AddEdge(v, int(u), w[i]*factor)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("scale(%s,%g)", g.Name(), factor))
+}
+
+// Overlay sums the communication of several phases of the same
+// application: all graphs must have the same vertex count; edge weights
+// add, vertex weights add. This composes, e.g., a halo-exchange phase
+// with a collective phase into one per-iteration graph.
+func Overlay(gs ...*Graph) (*Graph, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("taskgraph: Overlay needs at least one graph")
+	}
+	n := gs[0].NumVertices()
+	for _, g := range gs[1:] {
+		if g.NumVertices() != n {
+			return nil, fmt.Errorf("taskgraph: Overlay size mismatch: %d vs %d", g.NumVertices(), n)
+		}
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		total := 0.0
+		for _, g := range gs {
+			total += g.VertexWeight(v)
+		}
+		b.SetVertexWeight(v, total)
+	}
+	for _, g := range gs {
+		for v := 0; v < n; v++ {
+			adj, w := g.Neighbors(v)
+			for i, u := range adj {
+				if int32(v) < u {
+					b.AddEdge(v, int(u), w[i])
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("overlay(x%d)", len(gs))), nil
+}
+
+// Permute relabels vertices: new vertex perm[v] takes old vertex v's
+// weight and edges. perm must be a bijection on [0, n).
+func Permute(g *Graph, perm []int) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("taskgraph: permutation has %d entries for %d vertices", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("taskgraph: not a permutation")
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetVertexWeight(perm[v], g.VertexWeight(v))
+		adj, w := g.Neighbors(v)
+		for i, u := range adj {
+			if int32(v) < u {
+				b.AddEdge(perm[v], perm[u], w[i])
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("permute(%s)", g.Name())), nil
+}
+
+// Induced extracts the subgraph on the given vertices: sub-vertex i
+// corresponds to vertices[i]; edges leaving the set are dropped.
+// Duplicate vertices are rejected.
+func Induced(g *Graph, vertices []int) (*Graph, error) {
+	idx := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, fmt.Errorf("taskgraph: vertex %d out of range", v)
+		}
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("taskgraph: duplicate vertex %d", v)
+		}
+		idx[v] = i
+	}
+	if len(vertices) == 0 {
+		return nil, fmt.Errorf("taskgraph: empty vertex set")
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		b.SetVertexWeight(i, g.VertexWeight(v))
+		adj, w := g.Neighbors(v)
+		for j, u := range adj {
+			if k, ok := idx[int(u)]; ok && i < k {
+				b.AddEdge(i, k, w[j])
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("induced(%s,%d)", g.Name(), len(vertices))), nil
+}

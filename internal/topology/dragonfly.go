@@ -1,0 +1,96 @@
+package topology
+
+import "fmt"
+
+// Dragonfly is the modern low-diameter hierarchical topology: g groups of
+// a routers each; routers within a group are fully connected, and each
+// router has h global links to routers in other groups, spread uniformly
+// (the canonical Kim–Dally configuration uses g = a·h + 1 groups so every
+// group pair is joined by exactly one global link, which NewDragonfly
+// enforces). Each router hosts one processor, so Nodes() = g·a.
+//
+// Like hypercubes and fat-trees in the paper's framing, dragonflies have
+// so few hops (diameter ≤ 3) that topology-aware mapping buys less than
+// on tori — Dragonfly serves as that modern contrast case. Routing is
+// minimal: local hop, global hop, local hop.
+type Dragonfly struct {
+	*Graph
+	groups  int
+	routers int // per group
+	name    string
+}
+
+// NewDragonfly builds the balanced Kim–Dally dragonfly with the given
+// routers per group and global links per router: groups = a·h + 1.
+func NewDragonfly(routersPerGroup, globalPerRouter int) (*Dragonfly, error) {
+	a, h := routersPerGroup, globalPerRouter
+	if a < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs routersPerGroup and globalPerRouter >= 1")
+	}
+	g := a*h + 1
+	n := g * a
+	if n > 1<<20 {
+		return nil, fmt.Errorf("topology: dragonfly too large (%d routers)", n)
+	}
+	var edges [][2]int
+	id := func(group, router int) int { return group*a + router }
+	// Intra-group all-to-all.
+	for grp := 0; grp < g; grp++ {
+		for r1 := 0; r1 < a; r1++ {
+			for r2 := r1 + 1; r2 < a; r2++ {
+				edges = append(edges, [2]int{id(grp, r1), id(grp, r2)})
+			}
+		}
+	}
+	// Global links: the standard absolute-slot assignment. Router r of
+	// group grp owns global slots r·h … r·h+h−1; slot s of group grp
+	// connects toward group (grp + s + 1) mod g. Each inter-group pair is
+	// joined exactly once: group x's slot for group y pairs with group
+	// y's slot for group x.
+	for grp := 0; grp < g; grp++ {
+		for slot := 0; slot < a*h; slot++ {
+			target := (grp + slot + 1) % g
+			if target < grp {
+				continue // the lower-numbered group already added it
+			}
+			// Which slot of the target group points back at grp?
+			backSlot := (grp - target - 1 + g) % g
+			if backSlot >= a*h {
+				return nil, fmt.Errorf("topology: internal dragonfly wiring error")
+			}
+			edges = append(edges, [2]int{id(grp, slot/h), id(target, backSlot/h)})
+		}
+	}
+	graph, err := NewGraph(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("topology: dragonfly wiring: %w", err)
+	}
+	d := &Dragonfly{
+		Graph:   graph,
+		groups:  g,
+		routers: a,
+		name:    fmt.Sprintf("dragonfly(a=%d,h=%d,g=%d)", a, h, g),
+	}
+	return d, nil
+}
+
+// MustDragonfly is NewDragonfly that panics on error.
+func MustDragonfly(routersPerGroup, globalPerRouter int) *Dragonfly {
+	d, err := NewDragonfly(routersPerGroup, globalPerRouter)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string { return d.name }
+
+// Groups returns the number of groups.
+func (d *Dragonfly) Groups() int { return d.groups }
+
+// RoutersPerGroup returns the group size.
+func (d *Dragonfly) RoutersPerGroup() int { return d.routers }
+
+// Group returns the group of a node.
+func (d *Dragonfly) Group(node int) int { return node / d.routers }

@@ -1,0 +1,37 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// ExampleTorus shows the closed-form properties the paper quotes for the
+// (16,16,16) BlueGene-class torus: diameter 24, mean internode distance 12.
+func ExampleTorus() {
+	t := topology.MustTorus(16, 16, 16)
+	fmt.Println(t.Nodes(), t.Diameter(), t.AverageDistance())
+	// Output: 4096 24 12
+}
+
+// ExampleTorus_Route demonstrates dimension-ordered routing with
+// wraparound: (0,0) reaches (0,6) backwards through the seam in 2 hops.
+func ExampleTorus_Route() {
+	t := topology.MustTorus(8, 8)
+	fmt.Println(t.Route(nil, 0, 6))
+	// Output: [0 7 6]
+}
+
+// ExampleMesh_Distance is the Manhattan distance.
+func ExampleMesh_Distance() {
+	m := topology.MustMesh(4, 4)
+	fmt.Println(m.Distance(0, 15)) // (0,0) -> (3,3)
+	// Output: 6
+}
+
+// ExampleEnumerateLinks gives per-link dense indices for simulator state.
+func ExampleEnumerateLinks() {
+	ls := topology.EnumerateLinks(topology.MustMesh(2, 2))
+	fmt.Println(ls.Len(), ls.Has(0, 1), ls.Has(0, 3))
+	// Output: 8 true false
+}

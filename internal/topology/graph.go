@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Graph is an arbitrary undirected network given by explicit adjacency
+// lists. Distances are unweighted shortest paths computed by breadth-first
+// search and cached per source on first use; Route returns a BFS shortest
+// path. Graph supports irregular machines the closed-form topologies
+// cannot express (the mapping algorithms "work for arbitrary network
+// topologies", per the paper).
+type Graph struct {
+	n    int
+	adj  [][]int
+	name string
+
+	mu   sync.Mutex
+	dist [][]int32 // dist[src] filled lazily; -1 means unreachable
+	prev [][]int32 // BFS predecessor for Route, filled with dist
+}
+
+var _ Router = (*Graph)(nil)
+
+// NewGraph builds a graph on n nodes from undirected edges. Self-loops and
+// duplicate edges are rejected; endpoints must be in [0, n).
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: graph must have at least 1 node, got %d", n)
+	}
+	g := &Graph{n: n, adj: make([][]int, n), name: fmt.Sprintf("graph(n=%d,m=%d)", n, len(edges))}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("topology: edge (%d,%d) endpoint out of range [0,%d)", a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("topology: self-loop at node %d", a)
+		}
+		key := [2]int{min(a, b), max(a, b)}
+		if seen[key] {
+			return nil, fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+		}
+		seen[key] = true
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	g.dist = make([][]int32, n)
+	g.prev = make([][]int32, n)
+	return g, nil
+}
+
+// FromTopology materializes any Topology as an explicit Graph (useful for
+// testing closed-form distances against BFS).
+func FromTopology(t Topology) *Graph {
+	n := t.Nodes()
+	var edges [][2]int
+	for a := 0; a < n; a++ {
+		for _, b := range t.Neighbors(a) {
+			if a < b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		panic(err) // a valid Topology cannot produce invalid edges
+	}
+	g.name = "graph[" + t.Name() + "]"
+	return g
+}
+
+// Nodes implements Topology.
+func (g *Graph) Nodes() int { return g.n }
+
+// Name implements Topology.
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors implements Topology.
+func (g *Graph) Neighbors(a int) []int {
+	checkNode(a, g.n)
+	return g.adj[a]
+}
+
+// Distance implements Topology. It returns -1 if b is unreachable from a.
+func (g *Graph) Distance(a, b int) int {
+	checkNode(a, g.n)
+	checkNode(b, g.n)
+	return int(g.row(a)[b])
+}
+
+// Route implements Router, following BFS predecessors from b back to a.
+// It panics if b is unreachable from a.
+func (g *Graph) Route(path []int, a, b int) []int {
+	checkNode(a, g.n)
+	checkNode(b, g.n)
+	d := g.row(a)
+	if d[b] < 0 {
+		panic(fmt.Sprintf("topology: no route from %d to %d", a, b))
+	}
+	g.mu.Lock()
+	prev := g.prev[a]
+	g.mu.Unlock()
+	// Collect b..a then reverse in place onto path.
+	start := len(path)
+	for cur := int32(b); ; cur = prev[cur] {
+		path = append(path, int(cur))
+		if int(cur) == a {
+			break
+		}
+	}
+	for i, j := start, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	d := g.row(0)
+	for _, v := range d {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest finite pairwise distance. It is O(n·m).
+func (g *Graph) Diameter() int {
+	diam := 0
+	for a := 0; a < g.n; a++ {
+		for _, v := range g.row(a) {
+			if int(v) > diam {
+				diam = int(v)
+			}
+		}
+	}
+	return diam
+}
+
+// row returns the cached BFS distance row for src, computing it on first
+// use. Safe for concurrent callers.
+func (g *Graph) row(src int) []int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dist[src] != nil {
+		return g.dist[src]
+	}
+	d := make([]int32, g.n)
+	p := make([]int32, g.n)
+	for i := range d {
+		d[i] = -1
+		p[i] = -1
+	}
+	d[src] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				p[v] = u
+				queue = append(queue, int32(v))
+			}
+		}
+	}
+	g.dist[src] = d
+	g.prev[src] = p
+	return d
+}

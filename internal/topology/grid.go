@@ -1,0 +1,116 @@
+package topology
+
+// grid holds machinery shared by Mesh and Torus: row-major rank/coordinate
+// conversion and precomputed neighbor lists.
+type grid struct {
+	dims    []int
+	strides []int // strides[i] = product of dims[i+1:]
+	n       int
+	nbrs    [][]int // per-node neighbor lists, built once
+}
+
+func newGrid(dims []int, wrap bool) (*grid, error) {
+	n, err := volume(dims)
+	if err != nil {
+		return nil, err
+	}
+	g := &grid{dims: cloneInts(dims), n: n}
+	g.strides = make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		g.strides[i] = s
+		s *= dims[i]
+	}
+	g.buildNeighbors(wrap)
+	return g, nil
+}
+
+func (g *grid) Nodes() int   { return g.n }
+func (g *grid) Dims() []int  { return cloneInts(g.dims) }
+func (g *grid) NumDims() int { return len(g.dims) }
+
+// Coord converts rank to coordinates in row-major order.
+func (g *grid) Coord(rank int, c []int) {
+	checkNode(rank, g.n)
+	for i, st := range g.strides {
+		c[i] = rank / st
+		rank %= st
+	}
+}
+
+// Rank converts coordinates to a node rank. Coordinates must be in range.
+func (g *grid) Rank(c []int) int {
+	r := 0
+	for i, ci := range c {
+		if ci < 0 || ci >= g.dims[i] {
+			panic("topology: coordinate out of range")
+		}
+		r += ci * g.strides[i]
+	}
+	return r
+}
+
+func (g *grid) Neighbors(a int) []int {
+	checkNode(a, g.n)
+	return g.nbrs[a]
+}
+
+// buildNeighbors materializes neighbor lists. With wrap, each dimension of
+// extent >= 3 contributes wraparound links; extent-2 dimensions contribute a
+// single link (avoiding a duplicate edge), and extent-1 dimensions none.
+func (g *grid) buildNeighbors(wrap bool) {
+	g.nbrs = make([][]int, g.n)
+	c := make([]int, len(g.dims))
+	for r := 0; r < g.n; r++ {
+		g.Coord(r, c)
+		var nb []int
+		for i, d := range g.dims {
+			if d == 1 {
+				continue
+			}
+			lo, hi := c[i]-1, c[i]+1
+			if wrap && d > 2 {
+				lo, hi = (c[i]-1+d)%d, (c[i]+1)%d
+			}
+			if lo >= 0 && lo != c[i] {
+				nb = append(nb, r+(lo-c[i])*g.strides[i])
+			}
+			if hi < d && hi != c[i] && hi != lo {
+				nb = append(nb, r+(hi-c[i])*g.strides[i])
+			}
+		}
+		g.nbrs[r] = nb
+	}
+}
+
+// routeGrid appends the dimension-ordered route from a to b: correct
+// coordinates one dimension at a time, lowest dimension first. On tori the
+// shorter direction (ties broken toward increasing coordinate) is taken.
+func (g *grid) routeGrid(path []int, a, b int, wrap bool) []int {
+	checkNode(a, g.n)
+	checkNode(b, g.n)
+	ca := make([]int, len(g.dims))
+	cb := make([]int, len(g.dims))
+	g.Coord(a, ca)
+	g.Coord(b, cb)
+	path = append(path, a)
+	for i := range g.dims {
+		d := g.dims[i]
+		for ca[i] != cb[i] {
+			step := 1
+			if !wrap || d <= 2 {
+				if cb[i] < ca[i] {
+					step = -1
+				}
+			} else {
+				fwd := (cb[i] - ca[i] + d) % d
+				if fwd > d-fwd {
+					step = -1
+				}
+			}
+			ca[i] = (ca[i] + step + d) % d
+			path = append(path, g.Rank(ca))
+		}
+	}
+	return path
+}

@@ -1,0 +1,60 @@
+package topology
+
+import "fmt"
+
+// Link is a directed network link from one node to an adjacent node. Every
+// undirected edge of the topology yields two Links, one per direction,
+// matching full-duplex hardware channels.
+type Link struct {
+	From, To int
+}
+
+// LinkSet enumerates all directed links of a topology and assigns each a
+// dense index, so per-link state (queues, byte loads) can live in slices.
+type LinkSet struct {
+	links []Link
+	index map[Link]int
+}
+
+// EnumerateLinks builds the LinkSet of t. Link order is deterministic:
+// ascending by From, then by the order of Neighbors(From).
+func EnumerateLinks(t Topology) *LinkSet {
+	n := t.Nodes()
+	ls := &LinkSet{index: make(map[Link]int)}
+	for a := 0; a < n; a++ {
+		for _, b := range t.Neighbors(a) {
+			l := Link{From: a, To: b}
+			if _, dup := ls.index[l]; dup {
+				continue
+			}
+			ls.index[l] = len(ls.links)
+			ls.links = append(ls.links, l)
+		}
+	}
+	return ls
+}
+
+// Len returns the number of directed links.
+func (ls *LinkSet) Len() int { return len(ls.links) }
+
+// Link returns the i-th link.
+func (ls *LinkSet) Link(i int) Link { return ls.links[i] }
+
+// Links returns all links; the slice must not be modified.
+func (ls *LinkSet) Links() []Link { return ls.links }
+
+// Index returns the dense index of the directed link from a to b. It
+// panics if (a, b) is not a link of the topology.
+func (ls *LinkSet) Index(a, b int) int {
+	i, ok := ls.index[Link{From: a, To: b}]
+	if !ok {
+		panic(fmt.Sprintf("topology: (%d,%d) is not a link", a, b))
+	}
+	return i
+}
+
+// Has reports whether (a, b) is a directed link.
+func (ls *LinkSet) Has(a, b int) bool {
+	_, ok := ls.index[Link{From: a, To: b}]
+	return ok
+}

@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg keeps property tests fast but meaningful.
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// TestPropertyTriangleInequality checks d(a,c) <= d(a,b) + d(b,c) on
+// randomly chosen node triples for every closed-form topology.
+func TestPropertyTriangleInequality(t *testing.T) {
+	tops := []Topology{
+		MustMesh(5, 7), MustTorus(6, 5), MustTorus(3, 4, 5),
+		MustHypercube(6), MustFatTree(3, 4),
+	}
+	for _, tp := range tops {
+		n := tp.Nodes()
+		f := func(a, b, c uint32) bool {
+			x, y, z := int(a)%n, int(b)%n, int(c)%n
+			return tp.Distance(x, z) <= tp.Distance(x, y)+tp.Distance(y, z)
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: triangle inequality violated: %v", tp.Name(), err)
+		}
+	}
+}
+
+// TestPropertyTorusDistanceNeverExceedsMesh: adding wraparound links can
+// only shorten paths.
+func TestPropertyTorusDistanceNeverExceedsMesh(t *testing.T) {
+	m := MustMesh(7, 6)
+	to := MustTorus(7, 6)
+	f := func(a, b uint32) bool {
+		x, y := int(a)%m.Nodes(), int(b)%m.Nodes()
+		return to.Distance(x, y) <= m.Distance(x, y)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNeighborsAtDistanceOne: every listed neighbor is at distance
+// exactly 1 and the relation is symmetric.
+func TestPropertyNeighborsAtDistanceOne(t *testing.T) {
+	tops := []Topology{MustMesh(4, 4, 2), MustTorus(5, 3), MustHypercube(5)}
+	for _, tp := range tops {
+		for a := 0; a < tp.Nodes(); a++ {
+			for _, b := range tp.Neighbors(a) {
+				if tp.Distance(a, b) != 1 {
+					t.Fatalf("%s: neighbor %d-%d at distance %d", tp.Name(), a, b, tp.Distance(a, b))
+				}
+				back := false
+				for _, c := range tp.Neighbors(b) {
+					if c == a {
+						back = true
+						break
+					}
+				}
+				if !back {
+					t.Fatalf("%s: neighbor relation not symmetric (%d,%d)", tp.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRouteLengthMatchesDistance on random pairs for every Router.
+func TestPropertyRouteLengthMatchesDistance(t *testing.T) {
+	routers := []Router{MustMesh(6, 6), MustTorus(7, 7), MustHypercube(6), FromTopology(MustTorus(5, 5))}
+	for _, tp := range routers {
+		n := tp.Nodes()
+		f := func(a, b uint32) bool {
+			x, y := int(a)%n, int(b)%n
+			path := tp.Route(nil, x, y)
+			return len(path) == tp.Distance(x, y)+1
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", tp.Name(), err)
+		}
+	}
+}
+
+// TestPropertyDistanceTranslationInvariantOnTorus: torus distances are
+// invariant under coordinate-wise translation of both endpoints.
+func TestPropertyDistanceTranslationInvariantOnTorus(t *testing.T) {
+	to := MustTorus(6, 9)
+	dims := to.Dims()
+	f := func(a, b uint32, sx, sy uint8) bool {
+		x, y := int(a)%to.Nodes(), int(b)%to.Nodes()
+		cx := make([]int, 2)
+		cy := make([]int, 2)
+		to.Coord(x, cx)
+		to.Coord(y, cy)
+		shift := []int{int(sx) % dims[0], int(sy) % dims[1]}
+		for i := range cx {
+			cx[i] = (cx[i] + shift[i]) % dims[i]
+			cy[i] = (cy[i] + shift[i]) % dims[i]
+		}
+		return to.Distance(x, y) == to.Distance(to.Rank(cx), to.Rank(cy))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomGraphBFSSymmetric: distance matrix of random connected
+// graphs is symmetric (BFS from either side agrees).
+func TestPropertyRandomGraphBFSSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(20)
+		edges := ring(n) // ensure connectivity
+		for e := 0; e < n; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			dup := false
+			for _, ex := range edges {
+				if (ex[0] == a && ex[1] == b) || (ex[0] == b && ex[1] == a) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if g.Distance(a, b) != g.Distance(b, a) {
+					t.Fatalf("asymmetric BFS distance (%d,%d)", a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Diameter returns the largest pairwise distance of t, computed from the
+// Distance method (O(n²) distance evaluations). Topologies with closed
+// forms also expose their own O(1) Diameter methods.
+func Diameter(t Topology) int {
+	n := t.Nodes()
+	diam := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if d := t.Distance(a, b); d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// MeanDistance returns the exact mean distance between two independent
+// uniformly random nodes of t, including the a == b pairs (distance 0),
+// matching the expectation the paper quotes for random placement. It is
+// O(n²); use SampleMeanDistance for very large networks.
+func MeanDistance(t Topology) float64 {
+	n := t.Nodes()
+	sum := 0.0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			sum += float64(t.Distance(a, b))
+		}
+	}
+	// Ordered pairs: 2·sum off-diagonal plus n zero diagonal entries.
+	return 2 * sum / float64(n*n)
+}
+
+// SampleMeanDistance estimates MeanDistance from `samples` random ordered
+// node pairs drawn with the given seed.
+func SampleMeanDistance(t Topology, samples int, seed int64) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := t.Nodes()
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		sum += float64(t.Distance(rng.Intn(n), rng.Intn(n)))
+	}
+	return sum / float64(samples)
+}
+
+// TotalDistances fills out[p] with Σ_q Distance(p, q) over all nodes q for
+// every node p. TopoLB's second-order estimation function divides this by
+// the node count to approximate the distance to an unplaced task.
+//
+// Small machines use the symmetric O(n²/2) sequential sweep; large ones
+// fan rows out across GOMAXPROCS goroutines (each row is independent, so
+// the result is bit-identical either way).
+func TotalDistances(t Topology, out []float64) {
+	n := t.Nodes()
+	if n < 2048 {
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				d := float64(t.Distance(a, b))
+				out[a] += d
+				out[b] += d
+			}
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				// Row sums in ascending q order: deterministic per row.
+				sum := 0.0
+				for q := 0; q < n; q++ {
+					sum += float64(t.Distance(p, q))
+				}
+				out[p] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,272 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestNewMeshRejectsBadShapes(t *testing.T) {
+	cases := [][]int{{}, {0}, {-1, 4}, {4, 0, 4}}
+	for _, dims := range cases {
+		if _, err := NewMesh(dims...); err == nil {
+			t.Errorf("NewMesh(%v): want error, got nil", dims)
+		}
+	}
+}
+
+func TestNewTorusRejectsBadShapes(t *testing.T) {
+	cases := [][]int{{}, {0}, {3, -2}}
+	for _, dims := range cases {
+		if _, err := NewTorus(dims...); err == nil {
+			t.Errorf("NewTorus(%v): want error, got nil", dims)
+		}
+	}
+}
+
+func TestMeshNodesAndName(t *testing.T) {
+	m := MustMesh(4, 3, 2)
+	if got := m.Nodes(); got != 24 {
+		t.Errorf("Nodes() = %d, want 24", got)
+	}
+	if got := m.Name(); got != "mesh(4,3,2)" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestGridRankCoordRoundTrip(t *testing.T) {
+	m := MustMesh(5, 4, 3)
+	c := make([]int, 3)
+	for r := 0; r < m.Nodes(); r++ {
+		m.Coord(r, c)
+		if got := m.Rank(c); got != r {
+			t.Fatalf("Rank(Coord(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestMeshDistanceClosedForm(t *testing.T) {
+	m := MustMesh(4, 4)
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},  // (0,0) -> (0,3)
+		{0, 15, 6}, // (0,0) -> (3,3)
+		{5, 10, 2}, // (1,1) -> (2,2)
+		{12, 3, 6}, // (3,0) -> (0,3)
+		{1, 2, 1},
+	}
+	for _, tc := range tests {
+		if got := m.Distance(tc.a, tc.b); got != tc.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTorusDistanceWrapsAround(t *testing.T) {
+	to := MustTorus(8, 8)
+	// (0,0) -> (0,7) wraps to 1 hop; mesh would need 7.
+	if got := to.Distance(0, 7); got != 1 {
+		t.Errorf("Distance(0,7) = %d, want 1", got)
+	}
+	// (0,0) -> (4,4): each dim at exactly half the extent.
+	if got := to.Distance(0, to.Rank([]int{4, 4})); got != 8 {
+		t.Errorf("antipodal distance = %d, want 8", got)
+	}
+}
+
+func TestDistanceSymmetricAndZeroOnDiagonal(t *testing.T) {
+	tops := []Topology{
+		MustMesh(3, 4), MustTorus(4, 5), MustHypercube(4),
+		MustFatTree(4, 3), MustMesh(6), MustTorus(2, 3, 4),
+	}
+	for _, tp := range tops {
+		n := tp.Nodes()
+		for a := 0; a < n; a++ {
+			if d := tp.Distance(a, a); d != 0 {
+				t.Errorf("%s: Distance(%d,%d) = %d, want 0", tp.Name(), a, a, d)
+			}
+			for b := a + 1; b < n; b++ {
+				if tp.Distance(a, b) != tp.Distance(b, a) {
+					t.Errorf("%s: asymmetric distance (%d,%d)", tp.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+// Closed-form distances must match BFS over the actual neighbor lists.
+func TestClosedFormDistanceMatchesBFS(t *testing.T) {
+	tops := []Topology{
+		MustMesh(4, 5), MustMesh(3, 3, 3), MustTorus(5, 4),
+		MustTorus(4, 4, 4), MustTorus(2, 5), MustTorus(3),
+		MustHypercube(4), MustMesh(7), MustTorus(1, 4),
+	}
+	for _, tp := range tops {
+		g := FromTopology(tp)
+		n := tp.Nodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if got, want := tp.Distance(a, b), g.Distance(a, b); got != want {
+					t.Fatalf("%s: Distance(%d,%d) = %d, BFS says %d", tp.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusExtentTwoHasSingleLink(t *testing.T) {
+	// A wraparound in a dimension of extent 2 must not duplicate the edge.
+	to := MustTorus(2, 2)
+	for a := 0; a < 4; a++ {
+		if got := len(to.Neighbors(a)); got != 2 {
+			t.Errorf("node %d: %d neighbors, want 2", a, got)
+		}
+	}
+}
+
+func TestTorusExtentOneDimensionIgnored(t *testing.T) {
+	to := MustTorus(1, 4)
+	if got := to.Nodes(); got != 4 {
+		t.Fatalf("Nodes() = %d, want 4", got)
+	}
+	for a := 0; a < 4; a++ {
+		if got := len(to.Neighbors(a)); got != 2 {
+			t.Errorf("node %d: %d neighbors, want 2 (ring)", a, got)
+		}
+	}
+}
+
+func TestMeshNeighborCounts(t *testing.T) {
+	m := MustMesh(3, 3)
+	wantByNode := map[int]int{
+		0: 2, 2: 2, 6: 2, 8: 2, // corners
+		1: 3, 3: 3, 5: 3, 7: 3, // edges
+		4: 4, // center
+	}
+	for node, want := range wantByNode {
+		if got := len(m.Neighbors(node)); got != want {
+			t.Errorf("node %d: %d neighbors, want %d", node, got, want)
+		}
+	}
+}
+
+func TestDiameterClosedForms(t *testing.T) {
+	if got := MustMesh(4, 4, 4).Diameter(); got != 9 {
+		t.Errorf("mesh diameter = %d, want 9", got)
+	}
+	// Paper: (16,16,16) torus has diameter 24.
+	if got := MustTorus(16, 16, 16).Diameter(); got != 24 {
+		t.Errorf("torus(16,16,16) diameter = %d, want 24", got)
+	}
+	if got := MustHypercube(6).Diameter(); got != 6 {
+		t.Errorf("hypercube(6) diameter = %d, want 6", got)
+	}
+}
+
+func TestGenericDiameterMatchesClosedForm(t *testing.T) {
+	tops := []interface {
+		Topology
+		Diameter() int
+	}{
+		MustMesh(4, 5), MustTorus(4, 4), MustTorus(5, 3), MustHypercube(4),
+	}
+	for _, tp := range tops {
+		if got, want := Diameter(tp), tp.Diameter(); got != want {
+			t.Errorf("%s: generic diameter %d, closed form %d", tp.Name(), got, want)
+		}
+	}
+}
+
+func TestTorusAverageInternodeDistancePaperExample(t *testing.T) {
+	// Paper: a (16,16,16) 3D torus has average internode distance 12.
+	to := MustTorus(16, 16, 16)
+	if got := to.AverageDistance(); got != 12 {
+		t.Errorf("AverageDistance() = %v, want 12", got)
+	}
+}
+
+func TestAverageDistanceMatchesExactMean(t *testing.T) {
+	type avg interface {
+		Topology
+		AverageDistance() float64
+	}
+	tops := []avg{MustTorus(4, 4), MustTorus(5, 5), MustMesh(4, 4), MustMesh(3, 5), MustHypercube(5), MustTorus(2, 4, 6)}
+	for _, tp := range tops {
+		got := tp.AverageDistance()
+		want := MeanDistance(tp)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: AverageDistance() = %v, exact mean %v", tp.Name(), got, want)
+		}
+	}
+}
+
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	h := MustHypercube(5)
+	if got := h.Distance(0b10101, 0b01010); got != 5 {
+		t.Errorf("Distance = %d, want 5", got)
+	}
+	if got := h.Distance(7, 3); got != 1 {
+		t.Errorf("Distance(7,3) = %d, want 1", got)
+	}
+}
+
+func TestHypercubeRejectsBadDim(t *testing.T) {
+	if _, err := NewHypercube(-1); err == nil {
+		t.Error("NewHypercube(-1): want error")
+	}
+	if _, err := NewHypercube(31); err == nil {
+		t.Error("NewHypercube(31): want error")
+	}
+}
+
+func TestFatTreeDistance(t *testing.T) {
+	f := MustFatTree(4, 3) // 64 leaves
+	if got := f.Nodes(); got != 64 {
+		t.Fatalf("Nodes() = %d, want 64", got)
+	}
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 2},  // same edge switch
+		{0, 4, 4},  // same level-2 subtree
+		{0, 15, 4}, // (0,3,3): shares the first base-4 digit with 0
+		{0, 63, 6}, // through the root
+	}
+	for _, tc := range tests {
+		if got := f.Distance(tc.a, tc.b); got != tc.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestFatTreeNeighborsAreSiblings(t *testing.T) {
+	f := MustFatTree(4, 2)
+	nb := f.Neighbors(5)
+	want := map[int]bool{4: true, 6: true, 7: true}
+	if len(nb) != 3 {
+		t.Fatalf("Neighbors(5) = %v, want 3 siblings", nb)
+	}
+	for _, x := range nb {
+		if !want[x] {
+			t.Errorf("unexpected neighbor %d", x)
+		}
+	}
+}
+
+func TestFatTreeRejectsBadParams(t *testing.T) {
+	if _, err := NewFatTree(1, 2); err == nil {
+		t.Error("arity 1: want error")
+	}
+	if _, err := NewFatTree(4, 0); err == nil {
+		t.Error("levels 0: want error")
+	}
+	if _, err := NewFatTree(64, 10); err == nil {
+		t.Error("2^60 leaves: want error")
+	}
+}
+
+func TestDistancePanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on out-of-range node")
+		}
+	}()
+	MustMesh(2, 2).Distance(0, 4)
+}

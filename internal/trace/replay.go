@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Result reports a completed replay.
+type Result struct {
+	// CompletionTime is when the last task finished its last iteration.
+	CompletionTime float64
+	// Net carries the network-level statistics (message latencies, link
+	// utilization).
+	Net netsim.Stats
+}
+
+// Replay executes program p on a network built from cfg, with task v
+// running on processor mapping[v]. Computation serializes on each
+// processor; iteration i of a task starts only after its iteration i−1
+// compute finished and all neighbor messages from iteration i−1 arrived.
+func Replay(p *Program, mapping []int, cfg netsim.Config) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := p.NumTasks()
+	if len(mapping) != n {
+		return Result{}, fmt.Errorf("trace: mapping has %d entries for %d tasks", len(mapping), n)
+	}
+	procs := cfg.Topology.Nodes()
+	for v, proc := range mapping {
+		if proc < 0 || proc >= procs {
+			return Result{}, fmt.Errorf("trace: task %d mapped to processor %d, out of [0,%d)", v, proc, procs)
+		}
+	}
+
+	eng := &netsim.Engine{}
+	net, err := netsim.NewNetwork(eng, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	expect := p.expectedPerIteration()
+	// recv[v][i] counts messages tagged iteration i received by v.
+	recv := make([][]int, n)
+	for v := range recv {
+		recv[v] = make([]int, p.Iterations)
+	}
+	computed := make([]int, n) // iterations fully computed (and sent)
+	started := make([]int, n)  // next iteration not yet started; -1 none running
+	cpuFreeAt := make([]float64, procs)
+	completion := 0.0
+	var start func(v, iter int)
+	var tryStart func(v, iter int)
+
+	finish := func(v, iter int) {
+		computed[v] = iter + 1
+		if iter+1 == p.Iterations {
+			if t := eng.Now(); t > completion {
+				completion = t
+			}
+			return
+		}
+		// Send this iteration's messages, tagged with iter, then try to
+		// proceed.
+		for i, d := range p.Dest[v] {
+			dst := int(d)
+			bytes := p.Bytes[v][i]
+			net.Send(mapping[v], mapping[dst], bytes, func() {
+				recv[dst][iter]++
+				tryStart(dst, iter+1)
+			})
+		}
+		tryStart(v, iter+1)
+	}
+
+	start = func(v, iter int) {
+		proc := mapping[v]
+		begin := eng.Now()
+		if cpuFreeAt[proc] > begin {
+			begin = cpuFreeAt[proc]
+		}
+		end := begin + p.computeTimeOf(v)
+		cpuFreeAt[proc] = end
+		eng.Schedule(end, func() { finish(v, iter) })
+	}
+
+	tryStart = func(v, iter int) {
+		if started[v] >= iter {
+			return // already started or beyond
+		}
+		if computed[v] != iter {
+			return // iterations 0..iter-1 not all finished yet
+		}
+		if iter > 0 && recv[v][iter-1] != expect[v] {
+			return // still missing neighbor messages from iteration iter-1
+		}
+		started[v] = iter
+		start(v, iter)
+	}
+
+	// Kick off iteration 0 everywhere.
+	for v := 0; v < n; v++ {
+		started[v] = -1
+	}
+	eng.Schedule(0, func() {
+		for v := 0; v < n; v++ {
+			tryStart(v, 0)
+		}
+	})
+	eng.Run()
+
+	// Every task must have completed all iterations; anything else means a
+	// dependency deadlock in the model.
+	for v := 0; v < n; v++ {
+		if computed[v] != p.Iterations {
+			return Result{}, fmt.Errorf("trace: task %d stalled at iteration %d/%d", v, computed[v], p.Iterations)
+		}
+	}
+	return Result{CompletionTime: completion, Net: net.Stats()}, nil
+}

@@ -1,0 +1,141 @@
+// Package trace models iterative message-driven applications as replayable
+// event programs, standing in for the Charm++ event traces the paper feeds
+// to BigNetSim (§5.3). A Program captures, per task, the computation time
+// per iteration and the messages sent to each neighbor; Replay executes it
+// on a simulated network under a given task-to-processor mapping while
+// honoring event dependencies — a task starts iteration i only after its
+// own iteration i−1 completes and every neighbor message from iteration
+// i−1 has arrived.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/taskgraph"
+)
+
+// Program is an iterative nearest-neighbor style application trace.
+type Program struct {
+	// Name describes the workload.
+	Name string
+	// Iterations is the number of compute/communicate cycles.
+	Iterations int
+	// ComputeTime is seconds of CPU work per task per iteration.
+	ComputeTime float64
+	// ComputeTimes, when non-nil, overrides ComputeTime per task
+	// (heterogeneous loads). Must have one entry per task.
+	ComputeTimes []float64
+	// Dest[v] lists the tasks v sends to each iteration.
+	Dest [][]int32
+	// Bytes[v][i] is the message size v sends to Dest[v][i].
+	Bytes [][]float64
+}
+
+// NumTasks returns the task count.
+func (p *Program) NumTasks() int { return len(p.Dest) }
+
+// Validate checks structural invariants.
+func (p *Program) Validate() error {
+	if len(p.Dest) == 0 {
+		return fmt.Errorf("trace: program has no tasks")
+	}
+	if p.Iterations < 1 {
+		return fmt.Errorf("trace: %d iterations", p.Iterations)
+	}
+	if p.ComputeTime < 0 {
+		return fmt.Errorf("trace: negative compute time")
+	}
+	if p.ComputeTimes != nil {
+		if len(p.ComputeTimes) != len(p.Dest) {
+			return fmt.Errorf("trace: %d per-task compute times for %d tasks", len(p.ComputeTimes), len(p.Dest))
+		}
+		for v, c := range p.ComputeTimes {
+			if c < 0 {
+				return fmt.Errorf("trace: task %d has negative compute time", v)
+			}
+		}
+	}
+	if len(p.Bytes) != len(p.Dest) {
+		return fmt.Errorf("trace: Dest/Bytes length mismatch")
+	}
+	n := int32(len(p.Dest))
+	for v := range p.Dest {
+		if len(p.Dest[v]) != len(p.Bytes[v]) {
+			return fmt.Errorf("trace: task %d: %d destinations, %d sizes", v, len(p.Dest[v]), len(p.Bytes[v]))
+		}
+		for i, d := range p.Dest[v] {
+			if d < 0 || d >= n || int(d) == v {
+				return fmt.Errorf("trace: task %d: bad destination %d", v, d)
+			}
+			if p.Bytes[v][i] < 0 {
+				return fmt.Errorf("trace: task %d: negative message size", v)
+			}
+		}
+	}
+	return nil
+}
+
+// FromTaskGraph builds the symmetric nearest-neighbor program the paper's
+// 2D-Jacobi benchmark uses: every iteration, each task computes for
+// computeTime and sends each graph neighbor a message of the edge's weight
+// in bytes. (Each undirected edge carries one message per direction per
+// iteration.)
+func FromTaskGraph(g *taskgraph.Graph, iterations int, computeTime float64) (*Program, error) {
+	n := g.NumVertices()
+	p := &Program{
+		Name:        fmt.Sprintf("iter[%s,x%d]", g.Name(), iterations),
+		Iterations:  iterations,
+		ComputeTime: computeTime,
+		Dest:        make([][]int32, n),
+		Bytes:       make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		adj, w := g.Neighbors(v)
+		p.Dest[v] = append([]int32(nil), adj...)
+		p.Bytes[v] = append([]float64(nil), w...)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// computeTimeOf returns the task's per-iteration compute seconds.
+func (p *Program) computeTimeOf(v int) float64 {
+	if p.ComputeTimes != nil {
+		return p.ComputeTimes[v]
+	}
+	return p.ComputeTime
+}
+
+// expectedPerIteration returns, per task, the number of messages it
+// receives each iteration (equal to its out-degree in a symmetric
+// program). For asymmetric programs it counts actual senders.
+func (p *Program) expectedPerIteration() []int {
+	expect := make([]int, p.NumTasks())
+	for v := range p.Dest {
+		for _, d := range p.Dest[v] {
+			expect[d]++
+		}
+	}
+	return expect
+}
+
+// WriteGob serializes the program.
+func (p *Program) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// ReadGob deserializes and validates a program.
+func ReadGob(r io.Reader) (*Program, error) {
+	var p Program
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,176 @@
+// Package viz renders mappings and load distributions as ASCII diagrams:
+// which task sits on which processor of a grid machine, per-processor
+// heat maps, and histograms of per-link loads. The output makes mapping
+// quality visible at a glance — a TopoLB placement of a mesh pattern
+// looks like the mesh, a random placement looks like noise.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// RenderPlacement draws a coordinated (mesh/torus) machine with the task
+// hosted by each processor. placement maps task → processor and must be
+// a bijection onto the machine. 3D machines render one z-slice per block;
+// higher dimensions are rejected.
+func RenderPlacement(t topology.Coordinated, placement []int) (string, error) {
+	n := t.Nodes()
+	if len(placement) != n {
+		return "", fmt.Errorf("viz: placement has %d entries for %d processors", len(placement), n)
+	}
+	occupant := make([]int, n)
+	for i := range occupant {
+		occupant[i] = -1
+	}
+	for task, proc := range placement {
+		if proc < 0 || proc >= n {
+			return "", fmt.Errorf("viz: task %d on processor %d, out of [0,%d)", task, proc, n)
+		}
+		if occupant[proc] >= 0 {
+			return "", fmt.Errorf("viz: processors %d assigned twice", proc)
+		}
+		occupant[proc] = task
+	}
+	dims := t.Dims()
+	width := len(fmt.Sprint(n - 1))
+	var b strings.Builder
+	switch len(dims) {
+	case 1:
+		for y := 0; y < dims[0]; y++ {
+			if y > 0 {
+				b.WriteByte(' ')
+			}
+			writeCell(&b, occupant[y], width)
+		}
+		b.WriteByte('\n')
+	case 2:
+		renderSlice(&b, t, dims[0], dims[1], nil, occupant, width)
+	case 3:
+		for z := 0; z < dims[2]; z++ {
+			fmt.Fprintf(&b, "z = %d\n", z)
+			renderSlice(&b, t, dims[0], dims[1], []int{z}, occupant, width)
+			if z+1 < dims[2] {
+				b.WriteByte('\n')
+			}
+		}
+	default:
+		return "", fmt.Errorf("viz: cannot render %d-dimensional machines", len(dims))
+	}
+	return b.String(), nil
+}
+
+func writeCell(b *strings.Builder, task, width int) {
+	if task < 0 {
+		fmt.Fprintf(b, "%*s", width, ".")
+	} else {
+		fmt.Fprintf(b, "%*d", width, task)
+	}
+}
+
+// renderSlice draws an rx × ry slab; suffix holds fixed trailing
+// coordinates (the z of a 3D slice).
+func renderSlice(b *strings.Builder, t topology.Coordinated, rx, ry int, suffix []int, occupant []int, width int) {
+	coord := make([]int, 2+len(suffix))
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			coord[0], coord[1] = x, y
+			copy(coord[2:], suffix)
+			task := occupant[t.Rank(coord)]
+			if y > 0 {
+				b.WriteByte(' ')
+			}
+			writeCell(b, task, width)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// heatRunes shade from empty to full.
+var heatRunes = []rune(" .:-=+*#%@")
+
+// RenderHeat draws per-processor values (e.g. compute load or injected
+// bytes) as a shaded grid, normalized to the maximum value.
+func RenderHeat(t topology.Coordinated, values []float64) (string, error) {
+	n := t.Nodes()
+	if len(values) != n {
+		return "", fmt.Errorf("viz: %d values for %d processors", len(values), n)
+	}
+	dims := t.Dims()
+	if len(dims) != 2 {
+		return "", fmt.Errorf("viz: heat maps need a 2D machine, got %d dims", len(dims))
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v < 0 {
+			return "", fmt.Errorf("viz: negative value %v", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	coord := make([]int, 2)
+	for x := 0; x < dims[0]; x++ {
+		for y := 0; y < dims[1]; y++ {
+			coord[0], coord[1] = x, y
+			v := values[t.Rank(coord)]
+			idx := 0
+			if maxV > 0 {
+				idx = int(math.Round(v / maxV * float64(len(heatRunes)-1)))
+			}
+			b.WriteRune(heatRunes[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Histogram renders values as horizontal bars over `buckets` equal-width
+// bins between 0 and the maximum, annotated with counts — the quick way
+// to see a link-load distribution's tail.
+func Histogram(values []float64, buckets, barWidth int) string {
+	if len(values) == 0 || buckets < 1 {
+		return "(no data)\n"
+	}
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	counts := make([]int, buckets)
+	for _, v := range values {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(buckets))
+			if idx >= buckets {
+				idx = buckets - 1
+			}
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lo := maxV * float64(i) / float64(buckets)
+		hi := maxV * float64(i+1) / float64(buckets)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		fmt.Fprintf(&b, "[%10.3g, %10.3g) %s %d\n", lo, hi, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package topomap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Partitioner groups tasks into balanced clusters (phase one of the
+// paper's two-phase approach).
+type Partitioner = partition.Partitioner
+
+// Multilevel is the METIS-style multilevel k-way partitioner.
+type Multilevel = partition.Multilevel
+
+// GreedyPartitioner balances compute load ignoring communication
+// (GreedyLB).
+type GreedyPartitioner = partition.Greedy
+
+// Partition is a k-way grouping of tasks.
+type Partition = partition.Result
+
+// Quotient builds the coalesced p-vertex graph of a partition.
+func Quotient(g *TaskGraph, r *Partition) (*TaskGraph, error) {
+	return partition.Quotient(g, r)
+}
+
+// PipelineResult reports the two-phase mapping of a task graph with more
+// tasks than processors.
+type PipelineResult struct {
+	// Placement assigns every original task to a processor.
+	Placement []int
+	// Groups is the phase-one partition.
+	Groups *Partition
+	// QuotientGraph is the coalesced group-level graph.
+	QuotientGraph *TaskGraph
+	// GroupMapping is the phase-two mapping of groups onto processors.
+	GroupMapping Mapping
+	// HopsPerByte is measured on the quotient graph, as the paper reports.
+	HopsPerByte float64
+	// EdgeCut is the phase-one inter-group communication volume.
+	EdgeCut float64
+	// Imbalance is max processor load over average.
+	Imbalance float64
+}
+
+// MapTasks runs the paper's full two-phase pipeline: partition g into one
+// group per processor of t (topology-obliviously, balancing load), build
+// the quotient graph, and map it with strat. A nil part defaults to the
+// multilevel partitioner; a nil strat defaults to TopoLB with refinement.
+func MapTasks(g *TaskGraph, t topology.Topology, part Partitioner, strat Strategy) (*PipelineResult, error) {
+	if g.NumVertices() < t.Nodes() {
+		return nil, fmt.Errorf("topomap: %d tasks cannot fill %d processors", g.NumVertices(), t.Nodes())
+	}
+	if part == nil {
+		part = partition.Multilevel{}
+	}
+	if strat == nil {
+		strat = core.RefineTopoLB{Base: core.TopoLB{}}
+	}
+	pr, err := part.Partition(g, t.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	q, err := partition.Quotient(g, pr)
+	if err != nil {
+		return nil, err
+	}
+	m, err := strat.Map(q, t)
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{
+		Groups:        pr,
+		QuotientGraph: q,
+		GroupMapping:  m,
+		HopsPerByte:   core.HopsPerByte(q, t, m),
+		EdgeCut:       pr.EdgeCut(g),
+	}
+	res.Placement = make([]int, g.NumVertices())
+	loads := make([]float64, t.Nodes())
+	for v, grp := range pr.Assign {
+		res.Placement[v] = m[grp]
+		loads[m[grp]] += g.VertexWeight(v)
+	}
+	maxLoad, total := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total > 0 {
+		res.Imbalance = maxLoad / (total / float64(t.Nodes()))
+	}
+	return res, nil
+}
+
+// RCBPartitioner is recursive coordinate bisection for spatially
+// decomposed workloads; supply per-task coordinates.
+type RCBPartitioner = partition.RCB

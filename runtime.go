@@ -1,0 +1,67 @@
+package topomap
+
+import (
+	"repro/internal/charm"
+	"repro/internal/lbdb"
+)
+
+// App is a message-driven iterative application hosted by the Runtime.
+type App = charm.App
+
+// AppMessage is one per-iteration send of an App chare.
+type AppMessage = charm.Message
+
+// GraphApp adapts a TaskGraph into an App.
+type GraphApp = charm.GraphApp
+
+// Runtime is the miniature Charm-style runtime: instrumented execution on
+// the machine emulator plus measurement-based load balancing with
+// migratable chares.
+type Runtime = charm.Runtime
+
+// RuntimeOption configures NewRuntime.
+type RuntimeOption = charm.Option
+
+// NewRuntime hosts app on an emulated machine.
+func NewRuntime(app App, m *Machine, opts ...RuntimeOption) (*Runtime, error) {
+	return charm.NewRuntime(app, m, opts...)
+}
+
+// WithInitialPlacement sets the starting chare placement.
+func WithInitialPlacement(p []int) RuntimeOption { return charm.WithInitialPlacement(p) }
+
+// WithWorkUnitTime sets seconds charged per chare work unit.
+func WithWorkUnitTime(s float64) RuntimeOption { return charm.WithWorkUnitTime(s) }
+
+// LBDatabase is a dumped load-balancing database (the +LBDump content):
+// measured chare loads and pairwise communication.
+type LBDatabase = lbdb.Database
+
+// LBReport summarizes a strategy evaluated on a dumped database.
+type LBReport = charm.Report
+
+// SimulateLBStep evaluates a mapping strategy offline on a dumped
+// database — the paper's +LBSim mechanism (§5.1).
+func SimulateLBStep(db *LBDatabase, t Topology, part Partitioner, strat Strategy) (*LBReport, error) {
+	return charm.SimulateStep(db, t, part, strat)
+}
+
+// ChareEntry is a message handler of a message-driven chare program.
+type ChareEntry = charm.Entry
+
+// ChareCtx is the execution context passed to chare entry methods
+// (virtual-time Compute and Send).
+type ChareCtx = charm.Ctx
+
+// ChareMsg is a message delivered to a chare entry method.
+type ChareMsg = charm.Msg
+
+// ChareExec drives message-driven chare programs over the simulated
+// network until quiescence.
+type ChareExec = charm.Exec
+
+// NewChareExec creates an executor for message-driven chares placed by
+// placement on the network described by cfg.
+func NewChareExec(entries []ChareEntry, placement []int, cfg SimConfig) (*ChareExec, error) {
+	return charm.NewExec(entries, placement, cfg)
+}

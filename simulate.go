@@ -1,0 +1,45 @@
+package topomap
+
+import (
+	"repro/internal/emulator"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// SimConfig parameterizes the discrete-event network simulator
+// (bandwidth, per-hop latency, packetization).
+type SimConfig = netsim.Config
+
+// SimStats carries network-level simulation statistics.
+type SimStats = netsim.Stats
+
+// TraceProgram is a replayable iterative application trace.
+type TraceProgram = trace.Program
+
+// TraceResult reports a completed trace replay.
+type TraceResult = trace.Result
+
+// NewTrace converts a task graph into an iterative nearest-neighbor
+// program: each iteration every task computes for computeTime seconds and
+// sends each neighbor the edge weight in bytes.
+func NewTrace(g *TaskGraph, iterations int, computeTime float64) (*TraceProgram, error) {
+	return trace.FromTaskGraph(g, iterations, computeTime)
+}
+
+// ReplayTrace executes a program on the simulated network under the given
+// task-to-processor mapping, honoring event dependencies (§5.3's
+// BigNetSim methodology).
+func ReplayTrace(p *TraceProgram, mapping []int, cfg SimConfig) (TraceResult, error) {
+	return trace.Replay(p, mapping, cfg)
+}
+
+// Machine is the contention-based BlueGene-style machine emulator used
+// for Table 1 and Figures 10–11 class experiments.
+type Machine = emulator.Machine
+
+// EmulatorResult reports an emulated iterative run.
+type EmulatorResult = emulator.Result
+
+// DefaultMachine returns a BlueGene/L-flavored machine on t
+// (175 MB/s links, 100 ns/hop, 5 µs per-message overhead).
+func DefaultMachine(t Router) *Machine { return emulator.DefaultMachine(t) }

@@ -1,0 +1,98 @@
+// Package topomap is a topology-aware task-mapping library for large
+// parallel machines, reproducing Agarwal, Sharma & Kalé, "Topology-aware
+// task mapping for reducing communication contention on large parallel
+// machines" (IPDPS 2006).
+//
+// A parallel program is a weighted graph of communicating tasks; the
+// machine is a network topology (3D torus on BlueGene/L class machines).
+// Mapping communicating tasks to nearby processors reduces hop-bytes —
+// bytes weighted by the links they cross — which lowers per-link load and
+// therefore contention, message latency, and execution time.
+//
+// # Quick start
+//
+//	tasks := topomap.Mesh2DPattern(16, 16, 1<<20) // 256 tasks, 1 MiB msgs
+//	machine := topomap.NewTorus(16, 16)           // 256-node 2D torus
+//	m, err := topomap.TopoLB{}.Map(tasks, machine)
+//	if err != nil { ... }
+//	fmt.Println(topomap.HopsPerByte(tasks, machine, m)) // ~1.0
+//
+// For applications with more tasks than processors, use the two-phase
+// pipeline (partition → quotient → map) via MapTasks, or drive the full
+// measurement-based runtime in the charm-style Runtime.
+//
+// The library is organized as:
+//
+//   - mapping strategies and the hop-bytes metric (this package's
+//     Strategy values: TopoLB, TopoCentLB, RefineTopoLB, Random, Identity)
+//   - network topologies: NewMesh, NewTorus, NewHypercube, NewFatTree,
+//     NewGraphTopology
+//   - task graphs: Builder plus Mesh2DPattern/Mesh3DPattern/RingPattern/
+//     LeanMD and friends
+//   - partitioners: Multilevel (METIS-style) and Greedy
+//   - performance models: the discrete-event network simulator
+//     (SimConfig/ReplayTrace) and the contention-based machine emulator
+//     (Machine/DefaultMachine)
+package topomap
+
+import (
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Mapping assigns each task to a processor: Mapping[task] = processor.
+type Mapping = core.Mapping
+
+// Strategy maps a task graph onto a topology.
+type Strategy = core.Strategy
+
+// TopoLB is the paper's main heuristic: place the most placement-critical
+// task first, on its cheapest free processor (see internal/core).
+type TopoLB = core.TopoLB
+
+// Order selects TopoLB's estimation function.
+type Order = core.Order
+
+// Estimation orders for TopoLB (first, second — the default — and third).
+const (
+	OrderFirst  = core.OrderFirst
+	OrderSecond = core.OrderSecond
+	OrderThird  = core.OrderThird
+)
+
+// TopoCentLB is the simpler greedy comparator strategy.
+type TopoCentLB = core.TopoCentLB
+
+// RefineTopoLB wraps a base strategy with pairwise-swap refinement.
+type RefineTopoLB = core.RefineTopoLB
+
+// Random places tasks by a seeded random permutation (the baseline).
+type Random = core.Random
+
+// Identity places task i on processor i (the isomorphism mapping for
+// machine-shaped task patterns).
+type Identity = core.Identity
+
+// HopBytes returns Σ c_ab · d(P(a), P(b)) — the paper's metric.
+func HopBytes(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
+	return core.HopBytes(g, t, m)
+}
+
+// HopsPerByte returns HopBytes normalized by total communication volume.
+func HopsPerByte(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
+	return core.HopsPerByte(g, t, m)
+}
+
+// Refine improves a mapping in place by hop-byte-reducing swaps and
+// returns the number of swaps performed.
+func Refine(g *taskgraph.Graph, t topology.Topology, m Mapping, maxPasses int) int {
+	return core.Refine(g, t, m, maxPasses)
+}
+
+// ExpectedRandomHopsPerByte returns the analytic mean internode distance —
+// what random placement converges to (√p/2 on even 2D tori, 3·∛p/4 on
+// even 3D tori).
+func ExpectedRandomHopsPerByte(t topology.Topology) float64 {
+	return core.ExpectedRandomHopsPerByte(t)
+}

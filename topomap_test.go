@@ -1,0 +1,92 @@
+package topomap_test
+
+import (
+	"testing"
+
+	topomap "repro"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tasks := topomap.Mesh2DPattern(8, 8, 1e5)
+	machine, err := topomap.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topomap.TopoLB{}.Map(tasks, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpb := topomap.HopsPerByte(tasks, machine, m); hpb != 1 {
+		t.Errorf("hops/byte = %v, want the optimal 1.0", hpb)
+	}
+	if want := 4.0; topomap.ExpectedRandomHopsPerByte(machine) != want {
+		t.Errorf("E[random] = %v, want %v", topomap.ExpectedRandomHopsPerByte(machine), want)
+	}
+}
+
+func TestMapTasksTwoPhase(t *testing.T) {
+	tasks := topomap.LeanMD(16, 1e4, 1)
+	machine, err := topomap.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topomap.MapTasks(tasks, machine, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placement) != tasks.NumVertices() {
+		t.Fatalf("placement covers %d of %d tasks", len(res.Placement), tasks.NumVertices())
+	}
+	for v, p := range res.Placement {
+		if p < 0 || p >= 16 {
+			t.Fatalf("task %d on processor %d", v, p)
+		}
+	}
+	if res.Imbalance < 1 || res.Imbalance > 1.3 {
+		t.Errorf("imbalance = %v, want within the 10%% tolerance plus slack", res.Imbalance)
+	}
+	if res.QuotientGraph.NumVertices() != 16 {
+		t.Errorf("quotient has %d vertices", res.QuotientGraph.NumVertices())
+	}
+	if res.HopsPerByte <= 0 {
+		t.Errorf("hops/byte = %v", res.HopsPerByte)
+	}
+}
+
+func TestMapTasksRejectsTooFewTasks(t *testing.T) {
+	tasks := topomap.RingPattern(8, 1)
+	machine, err := topomap.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topomap.MapTasks(tasks, machine, nil, nil); err == nil {
+		t.Error("want error for 8 tasks on 16 processors")
+	}
+}
+
+func TestFacadeEndToEndSimulation(t *testing.T) {
+	tasks := topomap.Mesh2DPattern(4, 4, 4096)
+	machine, err := topomap.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topomap.TopoLB{}.Map(tasks, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := topomap.NewTrace(tasks, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topomap.ReplayTrace(prog, m, topomap.SimConfig{
+		Topology:      machine,
+		LinkBandwidth: 1e8,
+		LinkLatency:   1e-7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime <= 0 || res.Net.MessagesDelivered == 0 {
+		t.Errorf("simulation produced nothing: %+v", res)
+	}
+}

@@ -1,0 +1,38 @@
+package topomap
+
+import (
+	"repro/internal/topology"
+	"repro/internal/viz"
+)
+
+// RenderPlacement draws a bijective mapping on a mesh/torus machine as an
+// ASCII grid (one cell per processor showing the task it hosts).
+func RenderPlacement(t Topology, m Mapping) (string, error) {
+	co, ok := t.(topology.Coordinated)
+	if !ok {
+		return "", errNotGrid(t)
+	}
+	return viz.RenderPlacement(co, m)
+}
+
+// RenderHeat draws per-processor values on a 2D machine as a shaded grid.
+func RenderHeat(t Topology, values []float64) (string, error) {
+	co, ok := t.(topology.Coordinated)
+	if !ok {
+		return "", errNotGrid(t)
+	}
+	return viz.RenderHeat(co, values)
+}
+
+// Histogram renders values as ASCII bars over equal-width bins.
+func Histogram(values []float64, buckets, barWidth int) string {
+	return viz.Histogram(values, buckets, barWidth)
+}
+
+type notGridError struct{ name string }
+
+func (e notGridError) Error() string {
+	return "topomap: " + e.name + " is not a mesh/torus machine"
+}
+
+func errNotGrid(t Topology) error { return notGridError{name: t.Name()} }
