@@ -66,7 +66,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", k, err)
 			os.Exit(1)
 		}
-		tbl.Format(os.Stdout)
+		if err := tbl.Format(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)

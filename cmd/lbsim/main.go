@@ -78,8 +78,9 @@ func main() {
 		} else {
 			db, err = lbdb.Read(f)
 		}
-		f.Close()
+		closeErr := f.Close()
 		fatalIf(err)
+		fatalIf(closeErr)
 		fmt.Printf("database: step %d, %d chares on %d procs\n", db.Step, len(db.Chares), db.NumProcs)
 		fmt.Printf("%-22s  %12s  %10s  %10s  %10s\n", "strategy", "hop-bytes", "hops/byte", "imbalance", "migrations")
 		strats, err := cliutil.ParseStrategies(*strategies, *seed)

@@ -46,8 +46,9 @@ func main() {
 		f, err := os.Open(*traceFile)
 		fatalIf(err)
 		prog, err = trace.ReadGob(f)
-		f.Close()
+		closeErr := f.Close()
 		fatalIf(err)
+		fatalIf(closeErr)
 		g = programGraph(prog)
 	} else {
 		g, err = cliutil.ParsePattern(*patSpec, *msg, *seed)

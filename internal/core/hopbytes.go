@@ -42,7 +42,7 @@ func TaskHopBytes(g *taskgraph.Graph, t topology.Topology, m Mapping, v int) flo
 // communication.
 func HopsPerByte(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
 	total := g.TotalComm()
-	if total == 0 {
+	if total <= 0 {
 		return 0
 	}
 	return HopBytes(g, t, m) / total

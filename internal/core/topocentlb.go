@@ -29,8 +29,11 @@ type taskHeap struct {
 func (h *taskHeap) Len() int { return len(h.heap) }
 func (h *taskHeap) Less(i, j int) bool {
 	a, b := h.heap[i], h.heap[j]
-	if h.key[a] != h.key[b] {
-		return h.key[a] > h.key[b]
+	if h.key[a] > h.key[b] {
+		return true
+	}
+	if h.key[b] > h.key[a] {
+		return false
 	}
 	return a < b
 }

@@ -35,11 +35,26 @@ type Table struct {
 	Notes string
 }
 
-// Format renders the table in aligned plain text.
-func (t *Table) Format(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+// errWriter accumulates the first write error so formatting code can
+// stay linear; after a failure, further writes are no-ops.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// Format renders the table in aligned plain text, returning the first
+// write error.
+func (t *Table) Format(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("== %s: %s ==\n", t.ID, t.Title)
 	if t.Notes != "" {
-		fmt.Fprintf(w, "   %s\n", t.Notes)
+		ew.printf("   %s\n", t.Notes)
 	}
 	widths := make([]int, len(t.Columns))
 	cells := make([][]string, len(t.Rows))
@@ -58,26 +73,28 @@ func (t *Table) Format(w io.Writer) {
 	}
 	for i, c := range t.Columns {
 		if i > 0 {
-			fmt.Fprint(w, "  ")
+			ew.printf("  ")
 		}
-		fmt.Fprintf(w, "%*s", widths[i], c)
+		ew.printf("%*s", widths[i], c)
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+	ew.printf("\n")
+	ew.printf("%s\n", strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
 	for _, row := range cells {
 		for i, s := range row {
 			if i > 0 {
-				fmt.Fprint(w, "  ")
+				ew.printf("  ")
 			}
-			fmt.Fprintf(w, "%*s", widths[i], s)
+			ew.printf("%*s", widths[i], s)
 		}
-		fmt.Fprintln(w)
+		ew.printf("\n")
 	}
-	fmt.Fprintln(w)
+	ew.printf("\n")
+	return ew.err
 }
 
 func formatValue(v float64) string {
 	switch {
+	//lint:ignore floatcmp exact integrality test: float64(int64(v)) round-trips precisely for the guarded |v| < 1e7 range
 	case v == float64(int64(v)) && v < 1e7 && v > -1e7:
 		return fmt.Sprintf("%d", int64(v))
 	case v >= 1000 || v <= -1000:

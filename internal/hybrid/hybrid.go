@@ -179,6 +179,7 @@ func equalCountPartition(g *taskgraph.Graph, k int, seed int64) ([]int, error) {
 			}
 			target, connBest := -1, -1.0
 			for gu, c := range connTo {
+				//lint:ignore floatcmp exact tie detection: equal sums of the same weights tie-break on the smaller group id
 				if c > connBest || (c == connBest && gu < target) {
 					target, connBest = gu, c
 				}

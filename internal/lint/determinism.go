@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// algorithmPkgs are the packages whose outputs must be bit-for-bit
+// reproducible for a given seed: every mapping strategy, partitioner,
+// baseline, graph builder and topology model. Map iteration order is
+// randomized by the runtime, so a bare `range` over a map in these
+// packages is a reproducibility bug unless the keys are collected and
+// sorted first.
+var algorithmPkgs = []string{
+	"internal/core",
+	"internal/partition",
+	"internal/baselines",
+	"internal/taskgraph",
+	"internal/topology",
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "determinism",
+		Doc: "flags `range` over a map in algorithm packages (internal/core, " +
+			"internal/partition, internal/baselines, internal/taskgraph, " +
+			"internal/topology) unless the loop only collects keys/values that " +
+			"are sorted immediately afterwards; map iteration order would " +
+			"otherwise leak nondeterminism into mappings",
+		Run: runDeterminism,
+	})
+}
+
+// inAlgorithmScope reports whether the package's import path falls
+// under one of the algorithm package roots (subpackages included).
+func inAlgorithmScope(pkgPath string) bool {
+	for _, p := range algorithmPkgs {
+		// Match ".../internal/core" and ".../internal/core/...": the
+		// module prefix varies between the real module and fixtures.
+		if strings.HasSuffix(pkgPath, "/"+p) || strings.Contains(pkgPath, "/"+p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(p *Pass) {
+	if !inAlgorithmScope(p.Pkg.Path) {
+		return
+	}
+	p.walkFiles(func(f *ast.File) {
+		// Walk with enough context to see each range statement's
+		// enclosing statement list, so the collect-then-sort idiom can
+		// be recognized.
+		ast.Inspect(f, func(n ast.Node) bool {
+			body, ok := blockStmts(n)
+			if !ok {
+				return true
+			}
+			for i, stmt := range body {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Pkg.Info, rs.X) {
+					continue
+				}
+				// `for range m` never observes iteration order.
+				if rs.Key == nil && rs.Value == nil {
+					continue
+				}
+				if isCollectThenSort(rs, body[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.Pos(), "range over map %s has nondeterministic order; collect and sort the keys first (or //lint:ignore with a reason)", types.ExprString(rs.X))
+			}
+			return true
+		})
+	})
+}
+
+// blockStmts returns the statement list of any node that owns one.
+func blockStmts(n ast.Node) ([]ast.Stmt, bool) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List, true
+	case *ast.CaseClause:
+		return n.Body, true
+	case *ast.CommClause:
+		return n.Body, true
+	}
+	return nil, false
+}
+
+func isMapType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isCollectThenSort recognizes the one deterministic map-iteration
+// idiom this repo allows:
+//
+//	for k := range m { keys = append(keys, k) }   // pure collection
+//	sort.Slice(keys, ...)                         // before any other use
+//
+// The loop body must consist solely of append assignments, and a
+// sort.* or slices.Sort* call must appear in the statements that
+// follow the loop in the same block.
+func isCollectThenSort(rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return false
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+		}
+	}
+	for _, stmt := range rest {
+		if stmtCallsSort(stmt) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtCallsSort(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

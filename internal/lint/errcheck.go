@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "errcheck",
+		Doc: "flags call statements whose error result is silently discarded, " +
+			"and blank assignments (`_ = f.Close()`) that throw an error away; " +
+			"allowed exceptions: fmt printing to the terminal and writes to the " +
+			"infallible strings.Builder/bytes.Buffer; deferred calls are exempt " +
+			"by design (deferred cleanup has no error path to return through)",
+		Run: runErrcheck,
+	})
+}
+
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errIface)
+}
+
+func runErrcheck(p *Pass) {
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Deferred and spawned calls cannot return an error to
+				// the enclosing function; flagging them would only breed
+				// noise. Writers that must not lose Close errors check
+				// them explicitly on the success path.
+				return false
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if ok && callReturnsError(info, call) && !errcheckAllowed(info, call) {
+					p.Reportf(call.Pos(), "error result of %s is discarded; handle it or //lint:ignore with a reason", callName(info, call))
+				}
+				return false
+			case *ast.AssignStmt:
+				// Flag `_ = call()` / `_, _ = call()` where every result
+				// of an error-returning call is blanked.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !callReturnsError(info, call) || !allBlank(n.Lhs) {
+					return true
+				}
+				if !errcheckAllowed(info, call) {
+					p.Reportf(n.Pos(), "error result of %s is blanked; handle it or //lint:ignore with a reason", callName(info, call))
+				}
+			}
+			return true
+		})
+	})
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// callReturnsError reports whether any result of call is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin or type conversion
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// fmtTerminalFuncs print to os.Stdout and are fire-and-forget by
+// convention.
+var fmtTerminalFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// fmtWriterFuncs take an io.Writer first argument; they are allowed
+// only when that writer cannot fail.
+var fmtWriterFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// errcheckAllowed reports whether the discarded error is conventionally
+// ignorable: fmt printing to the terminal, fmt.Fprint* into an
+// infallible in-memory writer or a standard stream, or a method on
+// strings.Builder/bytes.Buffer (documented to always return nil).
+func errcheckAllowed(info *types.Info, call *ast.CallExpr) bool {
+	if pkgPath, fn := pkgQualifiedCall(info, call); pkgPath == "fmt" {
+		if fmtTerminalFuncs[fn] {
+			return true
+		}
+		if fmtWriterFuncs[fn] && len(call.Args) > 0 {
+			return isInfallibleWriter(info, call.Args[0]) || isStdStream(info, call.Args[0])
+		}
+		return false
+	}
+	// Methods on infallible in-memory writers: b.WriteByte, buf.WriteString, ...
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isInfallibleWriterType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	return ok && isInfallibleWriterType(tv.Type)
+}
+
+func isInfallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches the expressions os.Stdout and os.Stderr.
+func isStdStream(info *types.Info, arg ast.Expr) bool {
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+// callName renders the callee compactly for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

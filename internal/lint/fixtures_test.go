@@ -1,0 +1,106 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files")
+
+// fixtureCases pairs each analyzer with a violating ("bad") and a
+// conforming ("good") fixture package. The synthetic import path
+// controls path-scoped analyzers: determinism and seededrand only
+// consider algorithm packages, so their fixtures pose as one.
+var fixtureCases = []struct {
+	analyzer string
+	dir      string // under testdata/
+	path     string // synthetic import path for the fixture package
+	clean    bool   // expect zero diagnostics
+}{
+	{"determinism", "determinism/bad", "repro/internal/core/fixture", false},
+	{"determinism", "determinism/good", "repro/internal/core/fixture", true},
+	{"seededrand", "seededrand/bad", "repro/internal/core/fixture", false},
+	{"seededrand", "seededrand/good", "repro/internal/core/fixture", true},
+	{"errcheck", "errcheck/bad", "repro/internal/fixture", false},
+	{"errcheck", "errcheck/good", "repro/internal/fixture", true},
+	{"floatcmp", "floatcmp/bad", "repro/internal/fixture", false},
+	{"floatcmp", "floatcmp/good", "repro/internal/fixture", true},
+	{"floatcmp", "suppress/bad", "repro/internal/fixture", false},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			a := lint.Lookup(tc.analyzer)
+			if a == nil {
+				t.Fatalf("analyzer %q not registered", tc.analyzer)
+			}
+			pkg, err := lint.LoadDir(filepath.Join("testdata", tc.dir), tc.path)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			if pkg == nil {
+				t.Fatalf("fixture %s has no Go files", tc.dir)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture does not type-check: %v", terr)
+			}
+			var lines []string
+			for _, d := range lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}) {
+				lines = append(lines, fmt.Sprintf("%s:%d:%d: [%s] %s",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+			}
+			got := strings.Join(lines, "\n")
+			if got != "" {
+				got += "\n"
+			}
+			if tc.clean {
+				if got != "" {
+					t.Fatalf("expected a clean fixture, got diagnostics:\n%s", got)
+				}
+				return
+			}
+			if got == "" {
+				t.Fatalf("expected diagnostics on violating fixture %s, got none", tc.dir)
+			}
+			golden := filepath.Join("testdata", tc.dir+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestRegistry checks the registry surface the CLI depends on.
+func TestRegistry(t *testing.T) {
+	want := []string{"determinism", "errcheck", "floatcmp", "seededrand"}
+	var got []string
+	for _, a := range lint.Analyzers() {
+		got = append(got, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("registered analyzers = %v, want %v", got, want)
+	}
+	if lint.Lookup("determinism") == nil || lint.Lookup("nope") != nil {
+		t.Error("Lookup misbehaves")
+	}
+}

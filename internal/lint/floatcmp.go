@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "floatcmp",
+		Doc: "flags == and != between floating-point operands; hop-byte and " +
+			"load comparisons must use an epsilon or integer byte·hop " +
+			"accounting — exact float equality silently diverges across " +
+			"evaluation orders and architectures",
+		Run: runFloatcmp,
+	})
+}
+
+func runFloatcmp(p *Pass) {
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloatExpr(info, be.X) || isFloatExpr(info, be.Y) {
+				p.Reportf(be.Pos(), "%s compares floats exactly; use an epsilon or integer accounting (or //lint:ignore with a reason)",
+					types.ExprString(be))
+			}
+			return true
+		})
+	})
+}
+
+func isFloatExpr(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

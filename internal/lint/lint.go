@@ -1,0 +1,153 @@
+// Package lint is a small pluggable static-analysis framework built
+// entirely on the standard library (go/parser, go/ast, go/types,
+// go/token). It exists to mechanically enforce the invariants the
+// paper reproduction depends on: bit-for-bit deterministic mapping
+// strategies, seed-injected randomness, honest error handling, and
+// epsilon-aware floating-point comparisons.
+//
+// Analyzers register themselves in an init function via Register; the
+// cmd/topolint CLI and the in-repo self-check test both run every
+// registered analyzer over every package of the module. Individual
+// diagnostics can be suppressed with a justified comment:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"sync"
+)
+
+// Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position // file, line, column
+	Analyzer string         // name of the analyzer that produced it
+	Message  string
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col: [analyzer] message" form used by the CLI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects the package held by the
+// Pass and reports findings through it.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "determinism"
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// registry of analyzers, keyed by name.
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Analyzer{}
+)
+
+// Register adds a to the global registry. It panics on duplicate or
+// empty names so misconfiguration fails loudly at init time.
+func Register(a *Analyzer) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if a.Name == "" || a.Run == nil {
+		panic("lint: Register: analyzer needs a name and a Run function")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("lint: Register: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns every registered analyzer sorted by name.
+func Analyzers() []*Analyzer {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// Run executes the given analyzers over the given packages and returns
+// all findings that are not covered by a //lint:ignore directive,
+// sorted by file, line, column, then analyzer name. Malformed ignore
+// directives (missing analyzer name or reason) are reported as
+// findings of the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var kept []Diagnostic
+	sup := newSuppressions(pkgs, known)
+	kept = append(kept, sup.malformed...)
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// walkFiles applies fn to every file of the pass's package. The loader
+// only loads non-test files, so analyzers need no test-file filtering
+// of their own.
+func (p *Pass) walkFiles(fn func(*ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

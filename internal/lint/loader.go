@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module under
+// analysis. Only non-test files are loaded: the invariants topolint
+// enforces apply to production code, and test files are free to use
+// maps, clocks and exact float comparisons as they see fit.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects soft type-checking errors. Analysis proceeds
+	// despite them; analyzers must tolerate missing type info.
+	TypeErrors []error
+}
+
+// Module is a loaded Go module.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute module root directory
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// LoadModule locates the module containing dir (by walking up to the
+// nearest go.mod), then parses and type-checks every package beneath
+// the module root. Imports of sibling packages resolve against the
+// freshly parsed sources; standard-library imports are type-checked
+// from GOROOT source via go/importer's "source" compiler, so the
+// loader works with zero external dependencies and no pre-built
+// export data.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		modPath: modPath,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*Package{},
+	}
+	mod := &Module{Path: modPath, Root: root, Fset: fset}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, err)
+		}
+		if pkg != nil {
+			mod.Pkgs = append(mod.Pkgs, pkg)
+		}
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as a package
+// with the given synthetic import path. It is used by the fixture
+// tests, where the import path controls which path-scoped analyzers
+// consider the package in scope.
+func LoadDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		modPath: path, // nothing below it will be imported
+		root:    dir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*Package{},
+	}
+	return ld.loadAt(path, dir)
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			modPath, err = parseModulePath(data)
+			if err != nil {
+				return "", "", fmt.Errorf("lint: %s/go.mod: %w", d, err)
+			}
+			return d, modPath, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+func parseModulePath(gomod []byte) (string, error) {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive")
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test .go file, skipping testdata, vendor, hidden and underscore
+// directories — the same set the go tool would build.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// loader type-checks module packages on demand, memoizing results. It
+// doubles as the types.Importer handed to the type checker, so intra-
+// module imports recurse back into it.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	root    string
+	std     types.Importer
+	loaded  map[string]*Package // import path → package (nil while in progress)
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load type-checks the module package with the given import path.
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	dir := ld.root
+	if path != ld.modPath {
+		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.modPath+"/")))
+	}
+	return ld.loadAt(path, dir)
+}
+
+func (ld *loader) loadAt(path, dir string) (*Package, error) {
+	ld.loaded[path] = nil // cycle marker
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		delete(ld.loaded, path)
+		return nil, nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Soft errors only: Check returns the (possibly incomplete) package
+	// even when pkg.TypeErrors is non-empty, and analyzers degrade
+	// gracefully on missing type info.
+	pkg.Types, _ = conf.Check(path, ld.fset, files, pkg.Info)
+	ld.loaded[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// randConstructors are the only package-level math/rand functions
+// algorithm code may call: they build the injected, explicitly seeded
+// generator every strategy must thread through its computation.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// timingPkgs are the package-path fragments where wall-clock access is
+// legitimate: benchmark harnesses and CLIs. Everywhere else, time.Now
+// would let timing leak into results.
+var timingPkgs = []string{
+	"internal/experiments",
+	"cmd/",
+	"examples/",
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "seededrand",
+		Doc: "flags calls to math/rand's global generator (rand.Intn, " +
+			"rand.Float64, rand.Shuffle, ...) everywhere, and time.Now/" +
+			"time.Since outside internal/experiments, cmd/ and examples/; " +
+			"randomness must flow through an injected *rand.Rand built from " +
+			"an explicit seed so runs are reproducible",
+		Run: runSeededRand,
+	})
+}
+
+func timingAllowed(pkgPath string) bool {
+	for _, p := range timingPkgs {
+		if strings.Contains(pkgPath+"/", "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSeededRand(p *Pass) {
+	timingOK := timingAllowed(p.Pkg.Path)
+	p.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := pkgQualifiedCall(p.Pkg.Info, call)
+			switch {
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn]:
+				p.Reportf(call.Pos(), "call to global rand.%s bypasses seed injection; use a *rand.Rand built with rand.New(rand.NewSource(seed))", fn)
+			case pkgPath == "time" && (fn == "Now" || fn == "Since") && !timingOK:
+				p.Reportf(call.Pos(), "time.%s in algorithm code makes results timing-dependent; timing belongs in internal/experiments or cmd/", fn)
+			}
+			return true
+		})
+	})
+}
+
+// pkgQualifiedCall returns the imported package path and function name
+// when call is pkg.Fn(...) with pkg a package name; otherwise "", "".
+// Method calls on values (e.g. rng.Intn where rng is a *rand.Rand) do
+// not qualify, which is exactly the distinction seededrand needs.
+func pkgQualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

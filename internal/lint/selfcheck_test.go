@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepositoryIsClean runs every registered analyzer over every
+// package of the module and demands zero diagnostics. This is the
+// regression lock: any future map iteration, unseeded randomness,
+// dropped error or exact float comparison fails the build here (and in
+// CI via `go run ./cmd/topolint ./...`).
+func TestRepositoryIsClean(t *testing.T) {
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(mod.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing parts of the module", len(mod.Pkgs))
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	diags := lint.Run(mod.Pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings above or add //lint:ignore <analyzer> <reason> where the code is deliberately exact")
+	}
+}

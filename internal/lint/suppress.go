@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int    // line the comment sits on
+	analyzers string // comma-separated analyzer names, or "all"
+}
+
+// suppressions indexes every //lint:ignore directive of a package set.
+// A directive on line L covers diagnostics on L (trailing comment) and
+// L+1 (comment on its own line above the code).
+type suppressions struct {
+	byFileLine map[string]map[int][]string
+	malformed  []Diagnostic
+}
+
+func newSuppressions(pkgs []*Package, known map[string]bool) *suppressions {
+	s := &suppressions{byFileLine: map[string]map[int][]string{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.addComment(pkg.Fset, c.Pos(), c.Text, known)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) addComment(fset *token.FileSet, pos token.Pos, text string, known map[string]bool) {
+	const prefix = "//lint:ignore"
+	if !strings.HasPrefix(text, prefix) {
+		return
+	}
+	p := fset.Position(pos)
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:      p,
+			Analyzer: "lint",
+			Message:  "malformed //lint:ignore directive: need an analyzer name and a reason",
+		})
+		return
+	}
+	names := fields[0]
+	for _, name := range strings.Split(names, ",") {
+		if name != "all" && !known[name] {
+			s.malformed = append(s.malformed, Diagnostic{
+				Pos:      p,
+				Analyzer: "lint",
+				Message:  "//lint:ignore names unknown analyzer " + strconv.Quote(name),
+			})
+			return
+		}
+	}
+	m := s.byFileLine[p.Filename]
+	if m == nil {
+		m = map[int][]string{}
+		s.byFileLine[p.Filename] = m
+	}
+	m[p.Line] = append(m[p.Line], names)
+}
+
+// covers reports whether d is suppressed by a directive on its line or
+// the line above.
+func (s *suppressions) covers(d Diagnostic) bool {
+	m := s.byFileLine[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, names := range m[line] {
+			if names == "all" {
+				return true
+			}
+			for _, name := range strings.Split(names, ",") {
+				if name == d.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

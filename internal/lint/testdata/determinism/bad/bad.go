@@ -1,0 +1,24 @@
+// Package fixture violates the determinism invariant: it iterates maps
+// without sorting, inside a (synthetic) algorithm package path.
+package fixture
+
+// SumKeys observes map iteration order through the loop variable.
+func SumKeys(m map[int]float64) int {
+	s := 0
+	for k := range m {
+		s += k // order-dependent accumulation of ints is fine, but the key order still leaks below
+	}
+	order := make([]int, 0, len(m))
+	for k := range m {
+		order = append(order, k)
+	}
+	return s + order[0]
+}
+
+// FirstValue returns a value chosen by iteration order.
+func FirstValue(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}

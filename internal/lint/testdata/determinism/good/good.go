@@ -1,0 +1,34 @@
+// Package fixture shows the deterministic map-iteration idioms the
+// determinism analyzer accepts.
+package fixture
+
+import "sort"
+
+// SortedKeys collects then sorts before any order-sensitive use.
+func SortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Count never observes iteration order: `for range` binds no variables.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Justified documents why unsorted iteration is safe here.
+func Justified(m map[int]int) int {
+	s := 0
+	//lint:ignore determinism integer addition is commutative; the sum is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

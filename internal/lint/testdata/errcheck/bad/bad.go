@@ -1,0 +1,23 @@
+// Package fixture violates the error-handling invariant: errors are
+// dropped on the floor or explicitly blanked.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// Cleanup discards os.Remove's error entirely.
+func Cleanup(path string) {
+	os.Remove(path)
+}
+
+// CloseQuietly blanks the Close error, hiding lost writes.
+func CloseQuietly(f *os.File) {
+	_ = f.Close()
+}
+
+// Report writes to a fallible writer without checking.
+func Report(f *os.File) {
+	fmt.Fprintf(f, "done\n")
+}

@@ -1,0 +1,38 @@
+// Package fixture shows the error-handling forms errcheck accepts:
+// checked errors, terminal printing, infallible in-memory writers, and
+// deferred cleanup.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Cleanup propagates the error.
+func Cleanup(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+	return nil
+}
+
+// Render writes into infallible in-memory writers; fmt.Fprintf to a
+// strings.Builder or bytes.Buffer cannot fail.
+func Render() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&b, "x=%d\n", 1)
+	buf.WriteString("y")
+	b.WriteByte('\n')
+	return b.String() + buf.String()
+}
+
+// Announce prints to the terminal, which is fire-and-forget by
+// convention; deferred Close has no error path to return through.
+func Announce(f *os.File) {
+	defer f.Close()
+	fmt.Println("starting")
+	fmt.Fprintf(os.Stderr, "progress\n")
+}

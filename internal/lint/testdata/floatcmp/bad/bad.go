@@ -1,0 +1,18 @@
+// Package fixture violates the float-comparison invariant with exact
+// ==/!= between floating-point operands.
+package fixture
+
+// SameHopBytes compares accumulated floats exactly.
+func SameHopBytes(a, b float64) bool {
+	return a == b
+}
+
+// Changed compares float32 operands exactly.
+func Changed(x, y float32) bool {
+	return x != y
+}
+
+// IsUnit compares against a float literal.
+func IsUnit(v float64) bool {
+	return v == 1.0
+}

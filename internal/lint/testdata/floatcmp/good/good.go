@@ -1,0 +1,29 @@
+// Package fixture shows the comparison forms floatcmp accepts:
+// epsilon tests, integer accounting, and ordered comparisons.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// SameHopBytes uses an epsilon.
+func SameHopBytes(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// SameBytes compares integer byte·hop accounting exactly, which is
+// well-defined.
+func SameBytes(a, b int64) bool {
+	return a == b
+}
+
+// Less orders floats; ordered comparisons are not flagged.
+func Less(a, b float64) bool {
+	return a < b
+}
+
+// ExactZero documents a deliberate exact comparison.
+func ExactZero(v float64) bool {
+	//lint:ignore floatcmp exact-zero guard on a value reset to literal 0
+	return v == 0
+}

@@ -1,0 +1,29 @@
+// Package fixture violates the seeded-randomness invariant: it draws
+// from math/rand's process-global generator and reads the wall clock
+// inside (synthetic) algorithm code.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Shuffle uses the global generator, so results vary run to run.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Pick draws from the global generator.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Stamp lets timing leak into algorithm state.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed also consults the clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,0 +1,16 @@
+// Package fixture shows seed-injected randomness: every draw flows
+// through a *rand.Rand built from an explicit seed.
+package fixture
+
+import "math/rand"
+
+// Shuffle permutes xs reproducibly for a given seed.
+func Shuffle(xs []int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Pick draws from an injected generator.
+func Pick(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

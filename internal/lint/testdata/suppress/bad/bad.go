@@ -1,0 +1,16 @@
+// Package fixture exercises malformed //lint:ignore directives: a
+// directive without a reason and one naming an unknown analyzer are
+// themselves findings, and neither suppresses the diagnostic below it.
+package fixture
+
+// MissingReason has a directive with no written justification.
+func MissingReason(v float64) bool {
+	//lint:ignore floatcmp
+	return v == 0
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(v float64) bool {
+	//lint:ignore nosuchanalyzer the name above is wrong, so this does not suppress
+	return v == 1
+}

@@ -25,8 +25,11 @@ type loadHeap struct {
 
 func (h *loadHeap) Len() int { return len(h.group) }
 func (h *loadHeap) Less(i, j int) bool {
-	if h.load[i] != h.load[j] {
-		return h.load[i] < h.load[j]
+	if h.load[i] < h.load[j] {
+		return true
+	}
+	if h.load[j] < h.load[i] {
+		return false
 	}
 	return h.group[i] < h.group[j] // deterministic tie-break
 }
@@ -62,8 +65,11 @@ func (Greedy) Partition(g *taskgraph.Graph, k int) (*Result, error) {
 	}
 	sort.Slice(order, func(i, j int) bool {
 		wi, wj := g.VertexWeight(order[i]), g.VertexWeight(order[j])
-		if wi != wj {
-			return wi > wj
+		if wi > wj {
+			return true
+		}
+		if wj > wi {
+			return false
 		}
 		return order[i] < order[j]
 	})

@@ -160,8 +160,11 @@ func ensureSideCounts(m *mgraph, side []int8, k1, k2 int) {
 			}
 		}
 		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].w != cands[j].w {
-				return cands[i].w < cands[j].w
+			if cands[i].w < cands[j].w {
+				return true
+			}
+			if cands[j].w < cands[i].w {
+				return false
 			}
 			return cands[i].v < cands[j].v
 		})

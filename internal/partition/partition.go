@@ -105,7 +105,7 @@ func (r *Result) Imbalance(g *taskgraph.Graph) float64 {
 		}
 	}
 	avg := g.TotalLoad() / float64(r.K)
-	if avg == 0 {
+	if avg <= 0 {
 		return 1
 	}
 	return maxLoad / avg

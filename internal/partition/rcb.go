@@ -89,8 +89,11 @@ func (r RCB) bisect(g *taskgraph.Graph, tasks []int, k, offset int, assign []int
 	sorted := append([]int(nil), tasks...)
 	sort.Slice(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
-		if r.Coords[a][axis] != r.Coords[b][axis] {
-			return r.Coords[a][axis] < r.Coords[b][axis]
+		if r.Coords[a][axis] < r.Coords[b][axis] {
+			return true
+		}
+		if r.Coords[b][axis] < r.Coords[a][axis] {
+			return false
 		}
 		return a < b
 	})

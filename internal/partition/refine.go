@@ -35,6 +35,7 @@ func kwayRefine(m *mgraph, assign []int, k int, eps float64, passes int, rng *ra
 			touched = touched[:0]
 			for i, u := range adj {
 				p := assign[u]
+				//lint:ignore floatcmp exact-zero sentinel: conn is reset to literal 0 and only accumulates positive edge weights
 				if conn[p] == 0 {
 					touched = append(touched, p)
 				}
@@ -55,6 +56,7 @@ func kwayRefine(m *mgraph, assign []int, k int, eps float64, passes int, rng *ra
 					continue // would overflow without improving balance
 				}
 				improvesBalance := loads[p]+m.vwgt[v] < loads[from]
+				//lint:ignore floatcmp exact tie detection between identically computed gains; an epsilon would merge distinct gains
 				if gain > bestGain || (gain == bestGain && improvesBalance && (best < 0 || loads[p] < bestLoad)) {
 					if gain > 0 || improvesBalance {
 						best, bestGain, bestLoad = p, gain, loads[p]

@@ -73,16 +73,33 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 // rounded to integers as the format requires.
 func (g *Graph) WriteMetis(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%d %d 011\n", g.NumVertices(), g.NumEdges())
+	ew := &errWriter{w: bw}
+	ew.printf("%d %d 011\n", g.NumVertices(), g.NumEdges())
 	for v := 0; v < g.NumVertices(); v++ {
-		fmt.Fprintf(bw, "%d", int64(g.vwgt[v]+0.5))
+		ew.printf("%d", int64(g.vwgt[v]+0.5))
 		adj, wts := g.Neighbors(v)
 		for i, u := range adj {
-			fmt.Fprintf(bw, " %d %d", u+1, int64(wts[i]+0.5))
+			ew.printf(" %d %d", u+1, int64(wts[i]+0.5))
 		}
-		fmt.Fprintln(bw)
+		ew.printf("\n")
+	}
+	if ew.err != nil {
+		return ew.err
 	}
 	return bw.Flush()
+}
+
+// errWriter accumulates the first write error so the formatting loop
+// above can stay linear; after a failure, further writes are no-ops.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
 }
 
 // ReadMetis parses a METIS graph file with format flag 011 (vertex and

@@ -64,7 +64,7 @@ func (b *Builder) AddEdge(a, v int, bytes float64) *Builder {
 	if bytes < 0 {
 		panic("taskgraph: negative edge weight")
 	}
-	if a == v || bytes == 0 {
+	if a == v || bytes <= 0 {
 		return b
 	}
 	if b.adj[a] == nil {

@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// totalDistancesRef is the straightforward sequential computation the
+// parallel sweep must match bit for bit.
+func totalDistancesRef(t Topology, out []float64) {
+	n := t.Nodes()
+	for p := 0; p < n; p++ {
+		sum := 0.0
+		for q := 0; q < n; q++ {
+			sum += float64(t.Distance(p, q))
+		}
+		out[p] = sum
+	}
+}
+
+// TestTotalDistancesParallelStress drives the concurrent row sweep in
+// TotalDistances hard under the race detector: a machine large enough
+// (>= 2048 nodes) to take the parallel path, many concurrent callers
+// sharing the topology, and varied GOMAXPROCS so the chunking logic is
+// exercised with worker counts both above and below the row count per
+// chunk. Run with `go test -race ./internal/topology`.
+func TestTotalDistancesParallelStress(t *testing.T) {
+	mesh, err := NewMesh(16, 16, 8) // 2048 nodes: smallest parallel-path machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mesh.Nodes()
+	if n < 2048 {
+		t.Fatalf("mesh has %d nodes; need >= 2048 to exercise the parallel path", n)
+	}
+	want := make([]float64, n)
+	totalDistancesRef(mesh, want)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 3, runtime.NumCPU(), 4 * runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		const callers = 8
+		results := make([][]float64, callers)
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			results[c] = make([]float64, n)
+			wg.Add(1)
+			go func(out []float64) {
+				defer wg.Done()
+				TotalDistances(mesh, out)
+			}(results[c])
+		}
+		wg.Wait()
+		for c, got := range results {
+			for p := range got {
+				if got[p] != want[p] {
+					t.Fatalf("GOMAXPROCS=%d caller %d: out[%d] = %v, want %v (parallel sweep diverged from sequential)",
+						procs, c, p, got[p], want[p])
+				}
+			}
+		}
+	}
+}
