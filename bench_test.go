@@ -180,8 +180,16 @@ func benchStrategy(b *testing.B, s core.Strategy, p int) {
 	for rx*rx < p {
 		rx++
 	}
-	g := taskgraph.Mesh2D(rx, p/rx, 1e5)
-	to := topology.MustTorus(rx, p/rx)
+	benchStrategyOn(b, s, taskgraph.Mesh2D(rx, p/rx, 1e5), topology.MustTorus(rx, p/rx))
+}
+
+func benchStrategyOn(b *testing.B, s core.Strategy, g *taskgraph.Graph, to topology.Topology) {
+	// Warm up once so the lazily built distance-matrix cache (when
+	// enabled) is charged to setup, not to the steady state under test.
+	if _, err := s.Map(g, to); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Map(g, to); err != nil {
@@ -190,9 +198,38 @@ func benchStrategy(b *testing.B, s core.Strategy, p int) {
 	}
 }
 
+// benchNoMatrix runs fn with distance-matrix materialization disabled,
+// measuring the virtual-Distance baseline the cache replaces.
+func benchNoMatrix(b *testing.B, fn func(b *testing.B)) {
+	prev := topology.SetDistanceMatrixCap(0)
+	defer topology.SetDistanceMatrixCap(prev)
+	fn(b)
+}
+
 func BenchmarkTopoLBMap(b *testing.B) {
-	for _, p := range []int{64, 256, 1024} {
+	for _, p := range []int{64, 256, 512, 1024} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) { benchStrategy(b, core.TopoLB{}, p) })
+	}
+}
+
+// BenchmarkTopoLBMapNoMatrix is BenchmarkTopoLBMap with the distance
+// matrix disabled: every hot-loop distance goes through the Topology
+// interface, as before the cache existed. The ratio to BenchmarkTopoLBMap
+// is the matrix's contribution; run both with -cpu=1,4 to separate it
+// from the fork-join contribution.
+func BenchmarkTopoLBMapNoMatrix(b *testing.B) {
+	benchNoMatrix(b, func(b *testing.B) {
+		for _, p := range []int{64, 256, 512, 1024} {
+			b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) { benchStrategy(b, core.TopoLB{}, p) })
+		}
+	})
+}
+
+func BenchmarkTopoLBFirstOrderMap(b *testing.B) {
+	for _, p := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchStrategy(b, core.TopoLB{Order: core.OrderFirst}, p)
+		})
 	}
 }
 
@@ -202,6 +239,16 @@ func BenchmarkTopoLBThirdOrderMap(b *testing.B) {
 			benchStrategy(b, core.TopoLB{Order: core.OrderThird}, p)
 		})
 	}
+}
+
+func BenchmarkTopoLBThirdOrderMapNoMatrix(b *testing.B) {
+	benchNoMatrix(b, func(b *testing.B) {
+		for _, p := range []int{64, 256} {
+			b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+				benchStrategy(b, core.TopoLB{Order: core.OrderThird}, p)
+			})
+		}
+	})
 }
 
 func BenchmarkTopoCentLBMap(b *testing.B) {
@@ -244,18 +291,25 @@ func BenchmarkTwoPhasePipeline(b *testing.B) {
 	}
 }
 
-func BenchmarkRefinePass(b *testing.B) {
+func benchRefinePass(b *testing.B) {
 	g := taskgraph.Mesh2D(16, 16, 1e5)
 	to := topology.MustTorus(16, 16)
 	m0, err := (core.Random{Seed: 1}).Map(g, to)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := m0.Clone()
 		core.Refine(g, to, m, 1)
 	}
+}
+
+func BenchmarkRefinePass(b *testing.B) { benchRefinePass(b) }
+
+func BenchmarkRefinePassNoMatrix(b *testing.B) {
+	benchNoMatrix(b, benchRefinePass)
 }
 
 // Extras benchmarks: the studies beyond the paper (related-work mappers,

@@ -1,0 +1,203 @@
+// Command benchjson records the mapping kernels' performance trajectory:
+// it runs the strategy microbenchmarks under testing.Benchmark in two
+// configurations — "baseline" (distance matrix disabled, GOMAXPROCS=1,
+// i.e. the serial virtual-Distance kernels) and "optimized" (distance
+// matrix + parallel kernels at full GOMAXPROCS) — and writes ns/op,
+// B/op, and allocs/op per strategy×size×mode to a JSON file.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_mapping.json] [-quick]
+//
+// Regenerate the committed BENCH_mapping.json after touching any mapping
+// kernel; the speedup column of the optimized entries against their
+// baseline counterparts is the number the ISSUE acceptance criteria
+// track. Parallel speedups only show on multi-core hardware — the file
+// records num_cpu so readers can tell a 1-core run apart.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Result is one benchmark × configuration measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the top-level BENCH_mapping.json document.
+type Report struct {
+	Command   string   `json:"command"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Quick     bool     `json:"quick"`
+	Results   []Result `json:"results"`
+}
+
+// benchCase is one named workload closed over its inputs.
+type benchCase struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// mapCase benchmarks strategy s on a rx×ry task mesh mapped to a rx×ry
+// torus (the paper's benchmark pattern), warming up once so lazy
+// distance-matrix construction is charged to setup.
+func mapCase(name string, s core.Strategy, rx, ry int) benchCase {
+	return benchCase{name: fmt.Sprintf("%s/p=%d", name, rx*ry), run: func(b *testing.B) {
+		g := taskgraph.Mesh2D(rx, ry, 1e5)
+		to := topology.MustTorus(rx, ry)
+		if _, err := s.Map(g, to); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Map(g, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func refineCase(rx, ry int) benchCase {
+	return benchCase{name: fmt.Sprintf("Refine/p=%d", rx*ry), run: func(b *testing.B) {
+		g := taskgraph.Mesh2D(rx, ry, 1e5)
+		to := topology.MustTorus(rx, ry)
+		m0, err := (core.Random{Seed: 1}).Map(g, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Refine(g, to, m0.Clone(), 1) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := m0.Clone()
+			core.Refine(g, to, m, 1)
+		}
+	}}
+}
+
+func hopBytesCase(rx, ry int) benchCase {
+	return benchCase{name: fmt.Sprintf("HopBytes/p=%d", rx*ry), run: func(b *testing.B) {
+		g := taskgraph.Mesh2D(rx, ry, 1e5)
+		to := topology.MustTorus(rx, ry)
+		m, err := (core.Random{Seed: 1}).Map(g, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.HopBytes(g, to, m) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.HopBytes(g, to, m)
+		}
+	}}
+}
+
+func cases(quick bool) []benchCase {
+	cs := []benchCase{
+		mapCase("TopoLB", core.TopoLB{}, 8, 8),
+		mapCase("TopoLB", core.TopoLB{}, 16, 16),
+		mapCase("TopoLB", core.TopoLB{}, 32, 16),
+		mapCase("TopoLB(order=1)", core.TopoLB{Order: core.OrderFirst}, 16, 16),
+		mapCase("TopoLB(order=3)", core.TopoLB{Order: core.OrderThird}, 8, 8),
+		mapCase("TopoCentLB", core.TopoCentLB{}, 16, 16),
+		refineCase(16, 16),
+		hopBytesCase(32, 32),
+	}
+	if !quick {
+		cs = append(cs,
+			mapCase("TopoLB", core.TopoLB{}, 32, 32),
+			mapCase("TopoLB(order=3)", core.TopoLB{Order: core.OrderThird}, 16, 16),
+			mapCase("TopoCentLB", core.TopoCentLB{}, 32, 32),
+			hopBytesCase(64, 64),
+		)
+	}
+	return cs
+}
+
+// runMode executes every case under one configuration and returns the
+// measurements.
+func runMode(mode string, quick bool) []Result {
+	var out []Result
+	for _, c := range cases(quick) {
+		r := testing.Benchmark(c.run)
+		out = append(out, Result{
+			Name:        c.name,
+			Mode:        mode,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_mapping.json", "output file")
+	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
+	flag.Parse()
+
+	origProcs := runtime.GOMAXPROCS(0)
+
+	// Baseline: the pre-optimization configuration — no distance matrix,
+	// one worker everywhere.
+	runtime.GOMAXPROCS(1)
+	prevCap := topology.SetDistanceMatrixCap(0)
+	baseline := runMode("baseline", *quick)
+
+	// Optimized: distance matrix + parallel kernels at full width.
+	topology.SetDistanceMatrixCap(prevCap)
+	runtime.GOMAXPROCS(origProcs)
+	optimized := runMode("optimized", *quick)
+
+	for i := range optimized {
+		if base := baseline[i].NsPerOp; base > 0 && optimized[i].NsPerOp > 0 {
+			optimized[i].Speedup = base / optimized[i].NsPerOp
+		}
+	}
+
+	rep := Report{
+		Command:   "go run ./cmd/benchjson",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+		Results:   append(baseline, optimized...),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range optimized {
+		fmt.Printf("%-24s %12.0f ns/op  %8d allocs/op  speedup %.2fx\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.Speedup)
+	}
+	fmt.Println("wrote", *out)
+}

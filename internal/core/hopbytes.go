@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/parallel"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
@@ -10,19 +11,33 @@ import (
 //	HB(Gt, Gp, P) = Σ_{e_ab ∈ Et} c_ab · d_p(P(a), P(b))
 //
 // i.e. every communicated byte weighted by the number of network links it
-// must cross under mapping m.
+// must cross under mapping m. Per-task subtotals are computed in parallel
+// over fixed vertex chunks and merged in index order, so the value is
+// identical for any GOMAXPROCS.
 func HopBytes(g *taskgraph.Graph, t topology.Topology, m Mapping) float64 {
-	hb := 0.0
-	for v := 0; v < g.NumVertices(); v++ {
-		adj, w := g.Neighbors(v)
-		pv := m[v]
-		for i, u := range adj {
-			if int32(v) < u {
-				hb += w[i] * float64(t.Distance(pv, m[u]))
+	d := newDists(t)
+	return parallel.Reduce(g.NumVertices(), hopBytesGrain, func(lo, hi int) float64 {
+		hb := 0.0
+		for v := lo; v < hi; v++ {
+			adj, w := g.Neighbors(v)
+			pv := m[v]
+			if d.dm != nil {
+				row := d.dm.Row(pv)
+				for i, u := range adj {
+					if int32(v) < u {
+						hb += w[i] * float64(row[m[u]])
+					}
+				}
+			} else {
+				for i, u := range adj {
+					if int32(v) < u {
+						hb += w[i] * float64(d.t.Distance(pv, m[u]))
+					}
+				}
 			}
 		}
-	}
-	return hb
+		return hb
+	}, func(a, b float64) float64 { return a + b })
 }
 
 // TaskHopBytes returns HB(v), the hop-bytes due to a single task's edges.

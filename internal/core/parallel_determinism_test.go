@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// determinismStrategies are every kernel with a parallel code path.
+func determinismStrategies() []Strategy {
+	return []Strategy{
+		TopoLB{Order: OrderFirst},
+		TopoLB{Order: OrderSecond},
+		TopoLB{Order: OrderThird},
+		TopoCentLB{},
+		RefineTopoLB{Base: Random{Seed: 3}, MaxPasses: 4},
+	}
+}
+
+// TestParallelMappingsIdenticalAcrossGOMAXPROCS: the ISSUE's determinism
+// contract — every parallel kernel must produce byte-identical mappings
+// (and bit-identical hop-bytes) at GOMAXPROCS 1, 2, and 8, since all
+// reductions merge fixed chunks in index order.
+func TestParallelMappingsIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	shapes := []topology.Topology{
+		topology.MustTorus(4, 4),
+		topology.MustMesh(5, 3),
+		topology.MustTorus(2, 3, 3),
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, to := range shapes {
+		n := to.Nodes()
+		for seed := int64(0); seed < 4; seed++ {
+			g := taskgraph.Random(n, 2*n, 1, 16, seed)
+			for _, s := range determinismStrategies() {
+				name := fmt.Sprintf("%s/%s/seed=%d", s.Name(), to.Name(), seed)
+				runtime.GOMAXPROCS(1)
+				ref, err := s.Map(g, to)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				refHB := HopBytes(g, to, ref)
+				for _, procs := range []int{2, 8} {
+					runtime.GOMAXPROCS(procs)
+					got, err := s.Map(g, to)
+					if err != nil {
+						t.Fatalf("%s procs=%d: %v", name, procs, err)
+					}
+					for v := range got {
+						if got[v] != ref[v] {
+							t.Fatalf("%s: GOMAXPROCS=%d mapping diverges at task %d (%d vs %d)",
+								name, procs, v, got[v], ref[v])
+						}
+					}
+					if hb := HopBytes(g, to, got); hb != refHB {
+						t.Errorf("%s: GOMAXPROCS=%d HopBytes %v != %v", name, procs, hb, refHB)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMappingsIdenticalWithAndWithoutDistanceMatrix: the materialized
+// table stores exactly the integers Distance returns, so disabling it
+// must not change a single placement.
+func TestMappingsIdenticalWithAndWithoutDistanceMatrix(t *testing.T) {
+	to := topology.MustTorus(4, 2, 2)
+	n := to.Nodes()
+	for seed := int64(0); seed < 4; seed++ {
+		g := taskgraph.Random(n, 2*n, 1, 16, seed)
+		for _, s := range determinismStrategies() {
+			with, err := s.Map(g, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := topology.SetDistanceMatrixCap(0)
+			without, errNo := s.Map(g, to)
+			topology.SetDistanceMatrixCap(prev)
+			if errNo != nil {
+				t.Fatal(errNo)
+			}
+			for v := range with {
+				if with[v] != without[v] {
+					t.Fatalf("%s seed %d: matrix changes placement of task %d (%d vs %d)",
+						s.Name(), seed, v, with[v], without[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRefineParallelMatchesSerialSweep: Refine's speculative candidate
+// evaluation must apply exactly the swaps the serial sweep would, so the
+// swap count and final mapping agree at every GOMAXPROCS.
+func TestRefineParallelMatchesSerialSweep(t *testing.T) {
+	to := topology.MustTorus(6, 6)
+	g := taskgraph.Mesh2D(6, 6, 1e4)
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	type result struct {
+		m     Mapping
+		swaps int
+	}
+	var ref result
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		m, err := (Random{Seed: 9}).Map(g, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swaps := Refine(g, to, m, 8)
+		if procs == 1 {
+			ref = result{m: m, swaps: swaps}
+			continue
+		}
+		if swaps != ref.swaps {
+			t.Errorf("GOMAXPROCS=%d: %d swaps, serial did %d", procs, swaps, ref.swaps)
+		}
+		for v := range m {
+			if m[v] != ref.m[v] {
+				t.Fatalf("GOMAXPROCS=%d: refined mapping diverges at task %d", procs, v)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
@@ -52,9 +53,13 @@ func (r RefineTopoLB) maxPasses() int {
 // number of edges, candidate pairs are (task, neighbor-of-task's-processor
 // occupant) and (task, communication partner) — the pairs with any chance
 // of first-order improvement — plus a full quadratic sweep when p is
-// small. Returns the number of swaps performed.
+// small. Candidate deltas are evaluated speculatively in parallel, but the
+// first improving swap in candidate order is the one applied, so the
+// sweep is byte-identical to trying candidates one at a time (see
+// sweepCandidates). Returns the number of swaps performed.
 func Refine(g *taskgraph.Graph, t topology.Topology, m Mapping, maxPasses int) int {
 	n := len(m)
+	d := newDists(t)
 	occupant := make([]int, n) // processor -> task
 	for task, proc := range m {
 		occupant[proc] = task
@@ -64,24 +69,18 @@ func Refine(g *taskgraph.Graph, t topology.Topology, m Mapping, maxPasses int) i
 		improved := 0
 		for a := 0; a < n; a++ {
 			// Candidate partners: occupants of processors adjacent to a's
-			// current processor, plus a's communication partners.
-			for _, pn := range t.Neighbors(m[a]) {
-				if trySwap(g, t, m, occupant, a, occupant[pn]) {
-					improved++
-				}
-			}
+			// current processor, plus a's communication partners. Like the
+			// serial sweep, the adjacency snapshot is taken before any of
+			// its swaps apply, while occupants are read at trial time.
+			nbrs := t.Neighbors(m[a])
+			improved += sweepCandidates(g, d, m, occupant, a, len(nbrs),
+				func(j int) int { return occupant[nbrs[j]] })
 			adj, _ := g.Neighbors(a)
-			for _, u := range adj {
-				if trySwap(g, t, m, occupant, a, int(u)) {
-					improved++
-				}
-			}
+			improved += sweepCandidates(g, d, m, occupant, a, len(adj),
+				func(j int) int { return int(adj[j]) })
 			if n <= 256 {
-				for b := a + 1; b < n; b++ {
-					if trySwap(g, t, m, occupant, a, b) {
-						improved++
-					}
-				}
+				improved += sweepCandidates(g, d, m, occupant, a, n-a-1,
+					func(j int) int { return a + 1 + j })
 			}
 		}
 		swaps += improved
@@ -92,41 +91,72 @@ func Refine(g *taskgraph.Graph, t topology.Topology, m Mapping, maxPasses int) i
 	return swaps
 }
 
+// sweepCandidates replays the serial candidate scan for task a over the
+// candidate list partner(0..count-1): swap deltas are evaluated against
+// the frozen mapping speculatively in parallel, the first improving
+// candidate by index is applied, and evaluation resumes after it. Every
+// candidate the serial sweep would have rejected is rejected against the
+// same mapping state here, so accepted swaps — and therefore the final
+// mapping — are identical for any GOMAXPROCS. partner must be pure.
+func sweepCandidates(g *taskgraph.Graph, d dists, m Mapping, occupant []int, a, count int, partner func(j int) int) int {
+	swaps := 0
+	for start := 0; start < count; {
+		j := parallel.First(count-start, refineGrain, func(i int) bool {
+			b := partner(start + i)
+			return a != b && swapDelta(g, d, m, a, b) < -1e-12
+		})
+		if j < 0 {
+			break
+		}
+		b := partner(start + j)
+		m[a], m[b] = m[b], m[a]
+		occupant[m[a]] = a
+		occupant[m[b]] = b
+		swaps++
+		start += j + 1
+	}
+	return swaps
+}
+
 // swapDelta returns the hop-bytes change from swapping the processors of
 // tasks a and b (negative is better). The a–b edge itself, if any,
 // contributes identically before and after and is skipped.
-func swapDelta(g *taskgraph.Graph, t topology.Topology, m Mapping, a, b int) float64 {
+func swapDelta(g *taskgraph.Graph, d dists, m Mapping, a, b int) float64 {
 	pa, pb := m[a], m[b]
 	delta := 0.0
 	adjA, wA := g.Neighbors(a)
+	adjB, wB := g.Neighbors(b)
+	if d.dm != nil {
+		rowA, rowB := d.dm.Row(pa), d.dm.Row(pb)
+		for i, u := range adjA {
+			if int(u) == b {
+				continue
+			}
+			pu := m[u]
+			delta += wA[i] * float64(rowB[pu]-rowA[pu])
+		}
+		for i, u := range adjB {
+			if int(u) == a {
+				continue
+			}
+			pu := m[u]
+			delta += wB[i] * float64(rowA[pu]-rowB[pu])
+		}
+		return delta
+	}
 	for i, u := range adjA {
 		if int(u) == b {
 			continue
 		}
 		pu := m[u]
-		delta += wA[i] * float64(t.Distance(pb, pu)-t.Distance(pa, pu))
+		delta += wA[i] * float64(d.t.Distance(pb, pu)-d.t.Distance(pa, pu))
 	}
-	adjB, wB := g.Neighbors(b)
 	for i, u := range adjB {
 		if int(u) == a {
 			continue
 		}
 		pu := m[u]
-		delta += wB[i] * float64(t.Distance(pa, pu)-t.Distance(pb, pu))
+		delta += wB[i] * float64(d.t.Distance(pa, pu)-d.t.Distance(pb, pu))
 	}
 	return delta
-}
-
-// trySwap performs the swap if it strictly reduces hop-bytes.
-func trySwap(g *taskgraph.Graph, t topology.Topology, m Mapping, occupant []int, a, b int) bool {
-	if a == b {
-		return false
-	}
-	if swapDelta(g, t, m, a, b) >= -1e-12 {
-		return false
-	}
-	m[a], m[b] = m[b], m[a]
-	occupant[m[a]] = a
-	occupant[m[b]] = b
-	return true
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 
+	"repro/internal/parallel"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
@@ -61,6 +62,7 @@ func (TopoCentLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) 
 		return nil, err
 	}
 	n := t.Nodes()
+	d := newDists(t)
 	m := make(Mapping, n)
 	for i := range m {
 		m[i] = -1
@@ -108,23 +110,32 @@ func (TopoCentLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) 
 	for h.Len() > 0 {
 		tk := heap.Pop(h).(int)
 		// Place tk on the free processor minimizing the first-order cost:
-		// hop-bytes to its already-placed neighbors.
+		// hop-bytes to its already-placed neighbors. The scan is an
+		// index-ordered arg-min over processors — each candidate's cost is
+		// summed in edge order like the serial loop, so the placement is
+		// byte-identical for any GOMAXPROCS.
 		adj, w := g.Neighbors(tk)
-		pk, minCost := -1, 0.0
-		for p := 0; p < n; p++ {
+		pk, _ := parallel.ArgMin(n, rowScanGrain, func(p int) (float64, bool) {
 			if !procFree[p] {
-				continue
+				return 0, false
 			}
 			cost := 0.0
-			for i, u := range adj {
-				if pu := m[u]; pu >= 0 {
-					cost += w[i] * float64(t.Distance(p, pu))
+			if d.dm != nil {
+				row := d.dm.Row(p)
+				for i, u := range adj {
+					if pu := m[u]; pu >= 0 {
+						cost += w[i] * float64(row[pu])
+					}
+				}
+			} else {
+				for i, u := range adj {
+					if pu := m[u]; pu >= 0 {
+						cost += w[i] * float64(d.t.Distance(p, pu))
+					}
 				}
 			}
-			if pk < 0 || cost < minCost {
-				pk, minCost = p, cost
-			}
-		}
+			return cost, true
+		})
 		m[tk] = pk
 		procFree[pk] = false
 		// The placement raises the keys of tk's still-unplaced neighbors.

@@ -1,0 +1,243 @@
+// Package parallel provides small deterministic fork-join helpers for the
+// mapping kernels: a chunked parallel loop, an index-ordered reduction, and
+// a lowest-index parallel search.
+//
+// Determinism contract: every helper produces a result that is bit-identical
+// for any GOMAXPROCS value, including 1. Two rules make that hold:
+//
+//  1. Chunk boundaries are fixed by the problem size and the caller's grain,
+//     never by the worker count. Workers pull chunks dynamically, but which
+//     indices share a floating-point accumulator is always the same.
+//  2. Per-chunk partial results are merged strictly in ascending index
+//     order, and the arg-min/arg-max merges break ties toward the lowest
+//     index — exactly the semantics of the serial loops they replace.
+//
+// The worker count comes from runtime.GOMAXPROCS(0) at call time, capped by
+// the number of chunks; when only one worker would run, the helpers execute
+// inline with no goroutines (but the same chunk structure, so sums still
+// associate identically).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunks returns the number of fixed-size chunks of the given grain needed
+// to cover [0, n), normalizing grain to at least 1.
+func chunks(n, grain int) (nchunks, g int) {
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain, grain
+}
+
+// workers returns how many goroutines to use for nchunks chunks.
+func workers(nchunks int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > nchunks {
+		w = nchunks
+	}
+	return w
+}
+
+// For runs fn over every subrange [lo, hi) of a fixed-grain partition of
+// [0, n), in parallel. fn must only write state disjoint across indices;
+// under that contract the result is identical to the serial loop
+// fn(0, n) regardless of worker count.
+func For(n, grain int, fn func(lo, hi int)) {
+	nchunks, grain := chunks(n, grain)
+	if nchunks == 0 {
+		return
+	}
+	w := workers(nchunks)
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce folds a fixed-grain partition of [0, n): chunk computes a partial
+// result for [lo, hi), and the partials are merged with merge(acc, next) in
+// ascending chunk order. Because the partition depends only on n and grain,
+// the result — floating-point association included — is bit-identical for
+// every worker count. Reduce returns the zero value of T when n <= 0.
+func Reduce[T any](n, grain int, chunk func(lo, hi int) T, merge func(acc, next T) T) T {
+	var zero T
+	nchunks, grain := chunks(n, grain)
+	if nchunks == 0 {
+		return zero
+	}
+	w := workers(nchunks)
+	if w <= 1 {
+		acc := chunk(0, min(grain, n))
+		for c := 1; c < nchunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			acc = merge(acc, chunk(lo, hi))
+		}
+		return acc
+	}
+	partial := make([]T, nchunks)
+	For(n, grain, func(lo, hi int) {
+		partial[lo/grain] = chunk(lo, hi)
+	})
+	acc := partial[0]
+	for c := 1; c < nchunks; c++ {
+		acc = merge(acc, partial[c])
+	}
+	return acc
+}
+
+// argResult carries an argument-reduction candidate: the lowest index seen
+// so far with the extremal value, or idx < 0 when no index qualified.
+type argResult struct {
+	idx int
+	val float64
+}
+
+// ArgMax returns the lowest index i in [0, n) maximizing f, considering
+// only indices where ok is true, along with the maximum value. The
+// replacement rule is strict (a later index replaces the champion only
+// when its value is strictly greater), matching the serial idiom
+//
+//	if best < 0 || v > bestVal { best, bestVal = i, v }
+//
+// ArgMax returns (-1, 0) when no index qualifies.
+func ArgMax(n, grain int, f func(i int) (float64, bool)) (int, float64) {
+	if n <= 0 {
+		return -1, 0
+	}
+	r := Reduce(n, grain, func(lo, hi int) argResult {
+		best := argResult{idx: -1}
+		for i := lo; i < hi; i++ {
+			if v, ok := f(i); ok && (best.idx < 0 || v > best.val) {
+				best = argResult{idx: i, val: v}
+			}
+		}
+		return best
+	}, func(acc, next argResult) argResult {
+		if acc.idx < 0 || (next.idx >= 0 && next.val > acc.val) {
+			return next
+		}
+		return acc
+	})
+	if r.idx < 0 {
+		return -1, 0
+	}
+	return r.idx, r.val
+}
+
+// ArgMin is ArgMax with the comparison reversed: the lowest index with the
+// strictly smallest value wins.
+func ArgMin(n, grain int, f func(i int) (float64, bool)) (int, float64) {
+	if n <= 0 {
+		return -1, 0
+	}
+	r := Reduce(n, grain, func(lo, hi int) argResult {
+		best := argResult{idx: -1}
+		for i := lo; i < hi; i++ {
+			if v, ok := f(i); ok && (best.idx < 0 || v < best.val) {
+				best = argResult{idx: i, val: v}
+			}
+		}
+		return best
+	}, func(acc, next argResult) argResult {
+		if acc.idx < 0 || (next.idx >= 0 && next.val < acc.val) {
+			return next
+		}
+		return acc
+	})
+	if r.idx < 0 {
+		return -1, 0
+	}
+	return r.idx, r.val
+}
+
+// First returns the lowest index in [0, n) where pred is true, or -1.
+// Predicates are evaluated speculatively in parallel, so pred must be pure
+// (read-only and side-effect free); chunks wholly above the best index
+// found so far are skipped, and within a chunk evaluation stops at the
+// first hit, so the total work is close to the serial prefix scan plus
+// bounded speculation.
+func First(n, grain int, pred func(i int) bool) int {
+	nchunks, grain := chunks(n, grain)
+	if nchunks == 0 {
+		return -1
+	}
+	w := workers(nchunks)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	var next atomic.Int64
+	best := atomic.Int64{}
+	best.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * grain
+				if int64(lo) >= best.Load() {
+					return // all later chunks are above the best hit too
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if pred(i) {
+						// CAS-min: record i unless a lower hit is known.
+						for {
+							cur := best.Load()
+							if int64(i) >= cur || best.CompareAndSwap(cur, int64(i)) {
+								break
+							}
+						}
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := int(best.Load()); b < n {
+		return b
+	}
+	return -1
+}

@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// withGOMAXPROCS runs f under each of the given GOMAXPROCS values,
+// restoring the original setting afterwards.
+func withGOMAXPROCS(t *testing.T, values []int, f func(procs int)) {
+	t.Helper()
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, p := range values {
+		runtime.GOMAXPROCS(p)
+		f(p)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 8}, func(procs int) {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 5000} {
+				hits := make([]int, n)
+				For(n, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						hits[i]++
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("procs=%d n=%d grain=%d: index %d visited %d times", procs, n, grain, i, h)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestForRespectsGrainBoundaries(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 4}, func(procs int) {
+		For(100, 32, func(lo, hi int) {
+			if lo%32 != 0 {
+				t.Errorf("procs=%d: chunk start %d not grain-aligned", procs, lo)
+			}
+			if hi != lo+32 && hi != 100 {
+				t.Errorf("procs=%d: chunk [%d,%d) has unexpected size", procs, lo, hi)
+			}
+		})
+	})
+}
+
+// TestReduceSumBitIdenticalAcrossProcs: float sums must associate the same
+// way for every worker count because chunk boundaries are fixed.
+func TestReduceSumBitIdenticalAcrossProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 1237)
+	for i := range vals {
+		vals[i] = rng.Float64()*1e6 - 5e5
+	}
+	sum := func() float64 {
+		return Reduce(len(vals), 64, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	var ref float64
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(procs int) {
+		s := sum()
+		if procs == 1 {
+			ref = s
+			return
+		}
+		if s != ref {
+			t.Errorf("GOMAXPROCS=%d: sum %v != GOMAXPROCS=1 sum %v", procs, s, ref)
+		}
+	})
+}
+
+func TestReduceEmptyReturnsZero(t *testing.T) {
+	got := Reduce(0, 8, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Errorf("Reduce over empty range = %d, want 0", got)
+	}
+}
+
+// TestArgMaxMatchesSerialTieBreak: equal values must keep the lowest index,
+// and the skip predicate must behave like the serial `continue`.
+func TestArgMaxMatchesSerialTieBreak(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 513)
+	skip := make([]bool, len(vals))
+	for i := range vals {
+		vals[i] = float64(rng.Intn(9)) // many ties
+		skip[i] = rng.Intn(4) == 0
+	}
+	serial := func() (int, float64) {
+		best, bv := -1, 0.0
+		for i, v := range vals {
+			if skip[i] {
+				continue
+			}
+			if best < 0 || v > bv {
+				best, bv = i, v
+			}
+		}
+		return best, bv
+	}
+	wantIdx, wantVal := serial()
+	withGOMAXPROCS(t, []int{1, 2, 8}, func(procs int) {
+		for _, grain := range []int{1, 7, 64, 1024} {
+			idx, val := ArgMax(len(vals), grain, func(i int) (float64, bool) {
+				return vals[i], !skip[i]
+			})
+			if idx != wantIdx || val != wantVal {
+				t.Errorf("procs=%d grain=%d: ArgMax = (%d,%v), want (%d,%v)", procs, grain, idx, val, wantIdx, wantVal)
+			}
+		}
+	})
+}
+
+func TestArgMinMatchesSerialTieBreak(t *testing.T) {
+	vals := []float64{5, 3, 3, 8, 3, 1, 1, 9}
+	idx, val := ArgMin(len(vals), 2, func(i int) (float64, bool) { return vals[i], true })
+	if idx != 5 || val != 1 {
+		t.Errorf("ArgMin = (%d,%v), want (5,1)", idx, val)
+	}
+}
+
+func TestArgReductionsEmpty(t *testing.T) {
+	if idx, _ := ArgMax(10, 4, func(i int) (float64, bool) { return 0, false }); idx != -1 {
+		t.Errorf("ArgMax with all-skip = %d, want -1", idx)
+	}
+	if idx, _ := ArgMin(0, 4, func(i int) (float64, bool) { return 0, true }); idx != -1 {
+		t.Errorf("ArgMin over empty range = %d, want -1", idx)
+	}
+}
+
+func TestFirstFindsLowestHit(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 8}, func(procs int) {
+		for _, tc := range []struct {
+			n    int
+			hits []int
+			want int
+		}{
+			{0, nil, -1},
+			{100, nil, -1},
+			{100, []int{99}, 99},
+			{100, []int{0}, 0},
+			{1000, []int{41, 40, 900}, 40},
+			{1000, []int{999, 5, 500}, 5},
+		} {
+			hit := make([]bool, tc.n)
+			for _, h := range tc.hits {
+				hit[h] = true
+			}
+			for _, grain := range []int{1, 16, 4096} {
+				got := First(tc.n, grain, func(i int) bool { return hit[i] })
+				if got != tc.want {
+					t.Errorf("procs=%d n=%d grain=%d: First = %d, want %d", procs, tc.n, grain, got, tc.want)
+				}
+			}
+		}
+	})
+}
+
+// TestFirstStress hammers First with random hit patterns to shake out
+// races between the chunk-skip heuristic and the CAS-min.
+func TestFirstStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	withGOMAXPROCS(t, []int{2, 8}, func(procs int) {
+		for iter := 0; iter < 200; iter++ {
+			n := 1 + rng.Intn(500)
+			hit := make([]bool, n)
+			want := -1
+			for i := range hit {
+				if rng.Intn(50) == 0 {
+					hit[i] = true
+					if want < 0 {
+						want = i
+					}
+				}
+			}
+			if got := First(n, 8, func(i int) bool { return hit[i] }); got != want {
+				t.Fatalf("procs=%d iter=%d: First = %d, want %d", procs, iter, got, want)
+			}
+		}
+	})
+}

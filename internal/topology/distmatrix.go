@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// DistanceMatrix is a materialized all-pairs distance table: a flat
+// row-major []int32 so the mapping kernels' hot loops replace a virtual
+// Distance call per cell with an inlineable slice index. Matrices are
+// immutable after construction and safe for concurrent readers.
+type DistanceMatrix struct {
+	n int
+	d []int32
+}
+
+// NewDistanceMatrix builds the table for t with one parallel per-source
+// sweep: breadth-first search per source for explicit Graphs (no shared
+// BFS cache, no locks), the closed-form Distance for everything else.
+// Rows are filled independently and written to disjoint slices, so the
+// result is identical for any GOMAXPROCS.
+func NewDistanceMatrix(t Topology) *DistanceMatrix {
+	n := t.Nodes()
+	m := &DistanceMatrix{n: n, d: make([]int32, n*n)}
+	if g, ok := t.(*Graph); ok {
+		parallel.For(n, 16, func(lo, hi int) {
+			queue := make([]int32, 0, n)
+			for a := lo; a < hi; a++ {
+				g.bfsRow(a, m.d[a*n:(a+1)*n], queue)
+			}
+		})
+		return m
+	}
+	parallel.For(n, 16, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			row := m.d[a*n : (a+1)*n]
+			for b := 0; b < n; b++ {
+				row[b] = int32(t.Distance(a, b))
+			}
+		}
+	})
+	return m
+}
+
+// Nodes returns the number of nodes the matrix covers.
+func (m *DistanceMatrix) Nodes() int { return m.n }
+
+// Lookup returns the hop distance between a and b (-1 if unreachable).
+func (m *DistanceMatrix) Lookup(a, b int) int32 { return m.d[a*m.n+b] }
+
+// Row returns the distances from a to every node. The slice aliases the
+// matrix and must not be modified.
+func (m *DistanceMatrix) Row(a int) []int32 {
+	return m.d[a*m.n : (a+1)*m.n : (a+1)*m.n]
+}
+
+// DefaultDistanceMatrixCap is the default materialization bound in cells
+// (n²). 1<<26 cells is 256 MiB of int32 — enough for the paper's largest
+// sweep (p = 6084) while refusing to materialize million-node machines.
+const DefaultDistanceMatrixCap = 1 << 26
+
+// distMatrixCap is the current bound; <= 0 disables materialization.
+var distMatrixCap atomic.Int64
+
+func init() { distMatrixCap.Store(DefaultDistanceMatrixCap) }
+
+// SetDistanceMatrixCap sets the materialization bound in cells and
+// returns the previous value. Passing 0 (or negative) disables the cache
+// entirely — every CachedDistances call returns nil and kernels fall back
+// to Topology.Distance; benchmarks use this to measure the un-cached
+// baseline. Already-cached matrices are not re-checked against the new
+// bound.
+func SetDistanceMatrixCap(cells int) int {
+	return int(distMatrixCap.Swap(int64(cells)))
+}
+
+// maxCachedMatrices bounds the name-keyed store; maxIdentEntries bounds
+// the per-instance fast path. Both evict in insertion order: the cache
+// exists to carry one experiment sweep's few topologies, not to be an LRU.
+const (
+	maxCachedMatrices = 4
+	maxIdentEntries   = 32
+)
+
+// distEntry is a lazily built cache slot: sync.Once guarantees exactly one
+// builder per key even under concurrent first lookups.
+type distEntry struct {
+	once sync.Once
+	m    *DistanceMatrix
+}
+
+var distCache struct {
+	mu     sync.Mutex
+	byKey  map[string]*distEntry
+	keys   []string // insertion order, for bounded eviction
+	ident  map[Topology]*DistanceMatrix
+	idents []Topology // insertion order, for bounded eviction
+}
+
+// CachedDistances returns the lazily built, globally cached distance
+// matrix for t, or nil when t is too large to materialize under the
+// current cap (callers must then fall back to t.Distance). The cache is
+// keyed by Name()+node count — Name must uniquely determine the distance
+// function, which holds for every closed-form topology in this package;
+// explicit Graphs carry a process-unique id instead, since two graphs
+// with equal node and edge counts share a Name but not distances.
+func CachedDistances(t Topology) *DistanceMatrix {
+	n := t.Nodes()
+	cells := int64(n) * int64(n)
+	if cap := distMatrixCap.Load(); cap <= 0 || cells > cap {
+		return nil
+	}
+
+	distCache.mu.Lock()
+	if m, ok := distCache.ident[t]; ok {
+		distCache.mu.Unlock()
+		return m
+	}
+	if distCache.byKey == nil {
+		distCache.byKey = make(map[string]*distEntry)
+		distCache.ident = make(map[Topology]*DistanceMatrix)
+	}
+	var key string
+	if g, ok := t.(*Graph); ok {
+		key = "graph#" + strconv.FormatUint(g.id, 10)
+	} else {
+		key = fmt.Sprintf("%s/%d", t.Name(), n)
+	}
+	e, ok := distCache.byKey[key]
+	if !ok {
+		e = &distEntry{}
+		distCache.byKey[key] = e
+		distCache.keys = append(distCache.keys, key)
+		if len(distCache.keys) > maxCachedMatrices {
+			delete(distCache.byKey, distCache.keys[0])
+			distCache.keys = distCache.keys[1:]
+		}
+	}
+	distCache.mu.Unlock()
+
+	// Build outside the lock; Once serializes concurrent first callers.
+	e.once.Do(func() { e.m = NewDistanceMatrix(t) })
+
+	distCache.mu.Lock()
+	if _, ok := distCache.ident[t]; !ok {
+		distCache.ident[t] = e.m
+		distCache.idents = append(distCache.idents, t)
+		if len(distCache.idents) > maxIdentEntries {
+			delete(distCache.ident, distCache.idents[0])
+			distCache.idents = distCache.idents[1:]
+		}
+	}
+	distCache.mu.Unlock()
+	return e.m
+}

@@ -3,7 +3,13 @@ package topology
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// nextGraphID hands out process-unique graph ids; two Graphs with equal
+// node and edge counts (hence equal Name()) must never share a cached
+// distance matrix.
+var nextGraphID atomic.Uint64
 
 // Graph is an arbitrary undirected network given by explicit adjacency
 // lists. Distances are unweighted shortest paths computed by breadth-first
@@ -13,6 +19,7 @@ import (
 // topologies", per the paper).
 type Graph struct {
 	n    int
+	id   uint64 // process-unique, see CachedDistances
 	adj  [][]int
 	name string
 
@@ -29,7 +36,7 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("topology: graph must have at least 1 node, got %d", n)
 	}
-	g := &Graph{n: n, adj: make([][]int, n), name: fmt.Sprintf("graph(n=%d,m=%d)", n, len(edges))}
+	g := &Graph{n: n, id: nextGraphID.Add(1), adj: make([][]int, n), name: fmt.Sprintf("graph(n=%d,m=%d)", n, len(edges))}
 	seen := make(map[[2]int]bool, len(edges))
 	for _, e := range edges {
 		a, b := e[0], e[1]
@@ -139,6 +146,28 @@ func (g *Graph) Diameter() int {
 		}
 	}
 	return diam
+}
+
+// bfsRow fills dist (length n) with BFS distances from src, marking
+// unreachable nodes -1. queue is caller-provided scratch with capacity n;
+// unlike row it touches no shared state, so distance-matrix construction
+// can run one BFS per goroutine without locking.
+func (g *Graph) bfsRow(src int, dist []int32, queue []int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = append(queue[:0], int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = du
+				queue = append(queue, int32(v))
+			}
+		}
+	}
 }
 
 // row returns the cached BFS distance row for src, computing it on first

@@ -2,8 +2,8 @@ package topology
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Diameter returns the largest pairwise distance of t, computed from the
@@ -57,51 +57,27 @@ func SampleMeanDistance(t Topology, samples int, seed int64) float64 {
 // every node p. TopoLB's second-order estimation function divides this by
 // the node count to approximate the distance to an unplaced task.
 //
-// Small machines use the symmetric O(n²/2) sequential sweep; large ones
-// fan rows out across GOMAXPROCS goroutines (each row is independent, so
-// the result is bit-identical either way).
+// Rows are summed independently in ascending q order and fanned out with
+// parallel.For, reading the cached distance matrix when one is available.
+// Distances are integers, so every partial sum is exact in float64 and
+// the result is bit-identical for any GOMAXPROCS and either source.
 func TotalDistances(t Topology, out []float64) {
 	n := t.Nodes()
-	if n < 2048 {
-		for i := range out[:n] {
-			out[i] = 0
-		}
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				d := float64(t.Distance(a, b))
-				out[a] += d
-				out[b] += d
-			}
-		}
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for p := lo; p < hi; p++ {
-				// Row sums in ascending q order: deterministic per row.
-				sum := 0.0
+	dm := CachedDistances(t)
+	parallel.For(n, 8, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			sum := 0.0
+			if dm != nil {
+				row := dm.Row(p)
+				for q := 0; q < n; q++ {
+					sum += float64(row[q])
+				}
+			} else {
 				for q := 0; q < n; q++ {
 					sum += float64(t.Distance(p, q))
 				}
-				out[p] = sum
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			out[p] = sum
+		}
+	})
 }
