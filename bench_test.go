@@ -356,6 +356,92 @@ func BenchmarkNetsimEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimHotspotDense measures the packet-dense steady state the
+// rewrite targets: 8K packets in flight on an 8x8 torus, engine and pools
+// reused across runs (zero-alloc once warm, calendar queue engaged).
+func BenchmarkNetsimHotspotDense(b *testing.B) {
+	eng := &netsim.Engine{}
+	net, err := netsim.NewNetwork(eng, netsim.Config{
+		Topology: topology.MustTorus(8, 8), LinkBandwidth: 1e8,
+		LinkLatency: 1e-7, PacketSize: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		eng.Reset()
+		for a := 0; a < 64; a++ {
+			for d := 1; d <= 8; d++ {
+				net.Send(a, (a+d*7)%64, 4096, nil)
+			}
+		}
+		eng.Run()
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkNetsimBuffered measures credit-based flow control with the
+// intrusive wait queues under hotspot load.
+func BenchmarkNetsimBuffered(b *testing.B) {
+	eng := &netsim.Engine{}
+	net, err := netsim.NewNetwork(eng, netsim.Config{
+		Topology: topology.MustTorus(8, 8), LinkBandwidth: 1e8,
+		LinkLatency: 1e-7, PacketSize: 256, BufferPackets: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		eng.Reset()
+		for a := 0; a < 64; a++ {
+			for d := 1; d <= 8; d++ {
+				net.Send(a, (a+d*7)%64, 4096, nil)
+			}
+		}
+		eng.Run()
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkNetsimSweep measures the parallel experiment sweep runner over
+// the §5.3 scenario (three mappings × three bandwidths).
+func BenchmarkNetsimSweep(b *testing.B) {
+	g := taskgraph.Mesh2D(8, 8, 4096)
+	to := topology.MustTorus(4, 4, 4)
+	prog, err := trace.FromTaskGraph(g, 30, 20e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []experiments.SimJob
+	for _, strat := range []core.Strategy{core.Random{Seed: 1}, core.TopoLB{}, core.TopoCentLB{}} {
+		m, err := strat.Map(g, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bw := range []float64{1e8, 3e8, 8e8} {
+			jobs = append(jobs, experiments.SimJob{Prog: prog, Mapping: m, Cfg: netsim.Config{
+				Topology: to, LinkBandwidth: bw, LinkLatency: 1e-7, PacketSize: 1024,
+			}})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSims(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraceReplay measures end-to-end dependency-honoring replay.
 func BenchmarkTraceReplay(b *testing.B) {
 	g := taskgraph.Mesh2D(8, 8, 4096)

@@ -1,19 +1,24 @@
-// Command benchjson records the mapping kernels' performance trajectory:
-// it runs the strategy microbenchmarks under testing.Benchmark in two
-// configurations — "baseline" (distance matrix disabled, GOMAXPROCS=1,
-// i.e. the serial virtual-Distance kernels) and "optimized" (distance
-// matrix + parallel kernels at full GOMAXPROCS) — and writes ns/op,
-// B/op, and allocs/op per strategy×size×mode to a JSON file.
+// Command benchjson records the repo's performance trajectory as
+// committed JSON, one suite per subsystem:
+//
+//   - suite "mapping" (BENCH_mapping.json): the strategy microbenchmarks,
+//     "baseline" = distance matrix disabled at GOMAXPROCS=1 (the serial
+//     virtual-Distance kernels), "optimized" = distance matrix + parallel
+//     kernels at full width.
+//   - suite "netsim" (BENCH_netsim.json): the discrete-event simulator,
+//     "baseline" = the frozen pre-rewrite core in internal/netsim/legacy,
+//     "optimized" = the typed-event engine with calendar queue and pooled
+//     packet state. Optimized entries carry events_per_sec.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_mapping.json] [-quick]
+//	benchjson [-suite mapping|netsim] [-out FILE] [-quick]
 //
-// Regenerate the committed BENCH_mapping.json after touching any mapping
-// kernel; the speedup column of the optimized entries against their
-// baseline counterparts is the number the ISSUE acceptance criteria
-// track. Parallel speedups only show on multi-core hardware — the file
-// records num_cpu so readers can tell a 1-core run apart.
+// Regenerate the matching BENCH_*.json after touching a suite's kernels;
+// the speedup column of the optimized entries against their baseline
+// counterparts is the number the ISSUE acceptance criteria track.
+// Parallel speedups only show on multi-core hardware — the file records
+// num_cpu so readers can tell a 1-core run apart.
 package main
 
 import (
@@ -31,14 +36,15 @@ import (
 
 // Result is one benchmark × configuration measurement.
 type Result struct {
-	Name        string  `json:"name"`
-	Mode        string  `json:"mode"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Iterations  int     `json:"iterations"`
-	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Iterations   int     `json:"iterations"`
+	Speedup      float64 `json:"speedup_vs_baseline,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // Report is the top-level BENCH_mapping.json document.
@@ -154,36 +160,32 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_mapping.json", "output file")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim")
+	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
 	flag.Parse()
 
-	origProcs := runtime.GOMAXPROCS(0)
-
-	// Baseline: the pre-optimization configuration — no distance matrix,
-	// one worker everywhere.
-	runtime.GOMAXPROCS(1)
-	prevCap := topology.SetDistanceMatrixCap(0)
-	baseline := runMode("baseline", *quick)
-
-	// Optimized: distance matrix + parallel kernels at full width.
-	topology.SetDistanceMatrixCap(prevCap)
-	runtime.GOMAXPROCS(origProcs)
-	optimized := runMode("optimized", *quick)
-
-	for i := range optimized {
-		if base := baseline[i].NsPerOp; base > 0 && optimized[i].NsPerOp > 0 {
-			optimized[i].Speedup = base / optimized[i].NsPerOp
-		}
+	var results []Result
+	switch *suite {
+	case "mapping":
+		results = runMappingSuite(*quick)
+	case "netsim":
+		results = runNetsimSuite(*quick)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
 	}
 
 	rep := Report{
-		Command:   "go run ./cmd/benchjson",
+		Command:   "go run ./cmd/benchjson -suite " + *suite,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
-		Results:   append(baseline, optimized...),
+		Results:   results,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -195,9 +197,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	for _, r := range optimized {
+	for _, r := range results {
+		if r.Mode != "optimized" {
+			continue
+		}
 		fmt.Printf("%-24s %12.0f ns/op  %8d allocs/op  speedup %.2fx\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.Speedup)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// runMappingSuite runs the strategy microbenchmarks in the baseline
+// (distance matrix off, GOMAXPROCS=1) and optimized configurations.
+func runMappingSuite(quick bool) []Result {
+	origProcs := runtime.GOMAXPROCS(0)
+
+	runtime.GOMAXPROCS(1)
+	prevCap := topology.SetDistanceMatrixCap(0)
+	baseline := runMode("baseline", quick)
+
+	topology.SetDistanceMatrixCap(prevCap)
+	runtime.GOMAXPROCS(origProcs)
+	optimized := runMode("optimized", quick)
+
+	for i := range optimized {
+		if base := baseline[i].NsPerOp; base > 0 && optimized[i].NsPerOp > 0 {
+			optimized[i].Speedup = base / optimized[i].NsPerOp
+		}
+	}
+	return append(baseline, optimized...)
 }

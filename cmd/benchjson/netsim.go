@@ -1,0 +1,199 @@
+package main
+
+// The netsim suite pits the rewritten simulator core (typed events, flat
+// heap + calendar queue, pooled packet/message state) against the frozen
+// pre-rewrite implementation in internal/netsim/legacy. Both sides run
+// the same workloads, and the cross-check tests guarantee they produce
+// bit-identical statistics, so the ns/op ratio is a pure implementation
+// speedup — no modeling change hides in it.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/netsim/legacy"
+	"repro/internal/topology"
+)
+
+// netsimCase is one workload with a legacy and a current implementation.
+type netsimCase struct {
+	name      string
+	baseline  func(b *testing.B)
+	optimized func(b *testing.B)
+	events    int64 // engine events dispatched per op (same on both sides)
+}
+
+// engineCase measures raw scheduler throughput: pending self-rescheduling
+// timers dispatching total events. At pending >= the calendar threshold
+// the new engine runs on the calendar queue; below it, the flat heap.
+func engineCase(name string, pending, total int) netsimCase {
+	c := netsimCase{name: fmt.Sprintf("Engine/%s", name), events: int64(total)}
+	c.baseline = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := &legacy.Engine{}
+			left := total - pending
+			var tick func()
+			tick = func() {
+				if left > 0 {
+					left--
+					eng.After(1e-6, tick)
+				}
+			}
+			for j := 0; j < pending; j++ {
+				eng.Schedule(float64(j)*1e-7, tick)
+			}
+			eng.Run()
+		}
+	}
+	c.optimized = func(b *testing.B) {
+		eng := &netsim.Engine{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Reset()
+			left := total - pending
+			var tick func()
+			tick = func() {
+				if left > 0 {
+					left--
+					eng.After(1e-6, tick)
+				}
+			}
+			for j := 0; j < pending; j++ {
+				eng.Schedule(float64(j)*1e-7, tick)
+			}
+			eng.Run()
+		}
+	}
+	return c
+}
+
+// hotspotConfig is the packet-dense benchmark scenario: an 8x8 torus
+// where every node sends `load` 4 KB messages (16 packets each) across
+// the machine, saturating links near the hotspot diagonal.
+func hotspotWorkload(load int) (sends func(send func(src, dst int, bytes float64))) {
+	return func(send func(src, dst int, bytes float64)) {
+		for a := 0; a < 64; a++ {
+			for d := 1; d <= load; d++ {
+				send(a, (a+d*7)%64, 4096)
+			}
+		}
+	}
+}
+
+func hotspotCase(name string, load int, buffered bool) netsimCase {
+	to := topology.MustTorus(8, 8)
+	work := hotspotWorkload(load)
+	buf := 0
+	if buffered {
+		buf = 4
+	}
+	c := netsimCase{name: name}
+
+	// Count events once on the current engine; the legacy engine schedules
+	// the identical event sequence (that is the cross-check contract).
+	{
+		eng := &netsim.Engine{}
+		net, err := netsim.NewNetwork(eng, netsim.Config{
+			Topology: to, LinkBandwidth: 1e8, LinkLatency: 1e-7,
+			PacketSize: 256, BufferPackets: buf,
+		})
+		if err != nil {
+			panic(err)
+		}
+		work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+		eng.Run()
+		c.events = eng.Processed()
+	}
+
+	c.baseline = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := &legacy.Engine{}
+			net, err := legacy.NewNetwork(eng, legacy.Config{
+				Topology: to, LinkBandwidth: 1e8, LinkLatency: 1e-7,
+				PacketSize: 256, BufferPackets: buf,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+			eng.Run()
+		}
+	}
+	c.optimized = func(b *testing.B) {
+		eng := &netsim.Engine{}
+		net, err := netsim.NewNetwork(eng, netsim.Config{
+			Topology: to, LinkBandwidth: 1e8, LinkLatency: 1e-7,
+			PacketSize: 256, BufferPackets: buf,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func() {
+			eng.Reset()
+			work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+			eng.Run()
+		}
+		run() // warm pools and queue storage
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	}
+	return c
+}
+
+func netsimCases(quick bool) []netsimCase {
+	cs := []netsimCase{
+		engineCase("sparse", 64, 100_000),
+		engineCase("dense", 16384, 100_000),
+		hotspotCase("Hotspot/load=4", 4, false),
+		hotspotCase("Hotspot/load=16", 16, false),
+		hotspotCase("Buffered/load=8", 8, true),
+	}
+	if !quick {
+		cs = append(cs,
+			hotspotCase("Hotspot/load=63", 63, false),
+			hotspotCase("Buffered/load=32", 32, true),
+		)
+	}
+	return cs
+}
+
+// runNetsimSuite measures every case in both modes and returns baseline
+// results followed by optimized ones, with speedups and events/sec filled
+// in on the optimized half.
+func runNetsimSuite(quick bool) []Result {
+	cs := netsimCases(quick)
+	measure := func(mode string, run func(c netsimCase) func(b *testing.B)) []Result {
+		var out []Result
+		for _, c := range cs {
+			r := testing.Benchmark(run(c))
+			res := Result{
+				Name:        c.name,
+				Mode:        mode,
+				GOMAXPROCS:  1, // the simulator core is single-threaded by design
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				Iterations:  r.N,
+			}
+			if res.NsPerOp > 0 {
+				res.EventsPerSec = float64(c.events) / (res.NsPerOp * 1e-9)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	baseline := measure("baseline", func(c netsimCase) func(*testing.B) { return c.baseline })
+	optimized := measure("optimized", func(c netsimCase) func(*testing.B) { return c.optimized })
+	for i := range optimized {
+		if base := baseline[i].NsPerOp; base > 0 && optimized[i].NsPerOp > 0 {
+			optimized[i].Speedup = base / optimized[i].NsPerOp
+		}
+	}
+	return append(baseline, optimized...)
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -60,8 +61,19 @@ func main() {
 		}
 		ids = []string{*id}
 	}
-	for _, k := range ids {
-		tbl, err := reg[k]()
+	// Generate the selected experiments in parallel — each is independent
+	// and internally deterministic — but print strictly in id order so the
+	// output matches the serial run byte for byte.
+	type generated struct {
+		tbl *experiments.Table
+		err error
+	}
+	tables := parallel.Map(len(ids), 1, func(i int) generated {
+		tbl, err := reg[ids[i]]()
+		return generated{tbl: tbl, err: err}
+	})
+	for i, k := range ids {
+		tbl, err := tables[i].tbl, tables[i].err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", k, err)
 			os.Exit(1)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -73,11 +74,18 @@ func main() {
 	fmt.Printf("%-14s  %14s  %14s  %14s  %12s\n", "strategy", "completion(ms)", "avgLat(us)", "maxLat(us)", "maxLinkBusy")
 	strats, err := cliutil.ParseStrategies(*strategies, *seed)
 	fatalIf(err)
-	for _, strat := range strats {
+	jobs := make([]experiments.SimJob, len(strats))
+	for i, strat := range strats {
 		m, err := strat.Map(g, topo)
 		fatalIf(err)
-		res, err := trace.Replay(prog, m, cfg)
-		fatalIf(err)
+		jobs[i] = experiments.SimJob{Prog: prog, Mapping: m, Cfg: cfg}
+	}
+	// The replays are independent, so run them across GOMAXPROCS; results
+	// come back in strategy order, so output is identical to the serial loop.
+	results, err := experiments.RunSims(jobs)
+	fatalIf(err)
+	for i, strat := range strats {
+		res := results[i]
 		fmt.Printf("%-14s  %14.3f  %14.3f  %14.3f  %12.4g\n",
 			strat.Name(), res.CompletionTime*1e3,
 			res.Net.AvgLatency*1e6, res.Net.MaxLatency*1e6, res.Net.MaxLinkBusy)

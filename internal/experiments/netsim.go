@@ -41,27 +41,30 @@ func newNetsimSetup() (*netsimSetup, error) {
 	return s, nil
 }
 
-// run replays iters iterations at the given bandwidth and returns the
-// result per strategy, keyed as in s.order.
-func (s *netsimSetup) run(bandwidth float64, iters int) (map[string]trace.Result, error) {
+// jobs builds the (bandwidth × strategy) sweep over a shared trace of
+// iters iterations, in row-major order: all strategies of bandwidths[0],
+// then bandwidths[1], ... — matching the table rows netsimTable emits.
+func (s *netsimSetup) jobs(bandwidths []float64, iters int) ([]SimJob, error) {
 	p, err := trace.FromTaskGraph(s.g, iters, 20e-6)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]trace.Result, len(s.order))
-	for _, name := range s.order {
-		res, err := trace.Replay(p, s.mappings[name], netsim.Config{
-			Topology:      s.torus,
-			LinkBandwidth: bandwidth,
-			LinkLatency:   100e-9,
-			PacketSize:    1024,
-		})
-		if err != nil {
-			return nil, err
+	jobs := make([]SimJob, 0, len(bandwidths)*len(s.order))
+	for _, bw := range bandwidths {
+		for _, name := range s.order {
+			jobs = append(jobs, SimJob{
+				Prog:    p,
+				Mapping: s.mappings[name],
+				Cfg: netsim.Config{
+					Topology:      s.torus,
+					LinkBandwidth: bw,
+					LinkLatency:   100e-9,
+					PacketSize:    1024,
+				},
+			})
 		}
-		out[name] = res
 	}
-	return out, nil
+	return jobs, nil
 }
 
 func bandwidthPoints(quick bool, lo, hi int) []float64 {
@@ -95,16 +98,24 @@ func netsimTable(id, title string, quick bool, lo, hi, iters int,
 		Columns: []string{"bw_100MBps", "random", "topolb", "topocentlb"},
 		Notes:   "2D-Jacobi (8x8, 4KB msgs) on a (4,4,4) 3D torus via discrete-event simulation",
 	}
-	for _, bw := range bandwidthPoints(quick, lo, hi) {
-		res, err := s.run(bw, iters)
-		if err != nil {
-			return nil, err
-		}
+	bws := bandwidthPoints(quick, lo, hi)
+	jobs, err := s.jobs(bws, iters)
+	if err != nil {
+		return nil, err
+	}
+	// The whole sweep is independent (strategy × bandwidth), so fan it out
+	// rather than simulating bandwidth points one at a time.
+	results, err := RunSims(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for r, bw := range bws {
+		row := results[r*len(s.order):] // strategies in s.order
 		t.Rows = append(t.Rows, []float64{
 			bw / 1e8,
-			metric(res["random"]),
-			metric(res["topolb"]),
-			metric(res["topocentlb"]),
+			metric(row[0]),
+			metric(row[1]),
+			metric(row[2]),
 		})
 	}
 	return t, nil

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// SimJob is one independent trace replay in a sweep: a (program, mapping,
+// network config) triple. Programs, mappings, and topologies are only read
+// during replay, so jobs may share them freely.
+type SimJob struct {
+	Prog    *trace.Program
+	Mapping core.Mapping
+	Cfg     netsim.Config
+}
+
+// enginePool recycles simulation engines across sweep jobs so each worker
+// reuses warm event-queue and network-pool storage instead of growing a
+// fresh arena per replay.
+var enginePool = sync.Pool{New: func() any { return &netsim.Engine{} }}
+
+// RunSims replays every job, fanning the independent simulations across
+// GOMAXPROCS workers, and returns the results in job order.
+//
+// Determinism contract: each simulation runs to completion on a single
+// engine, so its result depends only on its job — never on the worker
+// count, the engine it borrowed, or scheduling order. The returned slice
+// is therefore bit-identical for any GOMAXPROCS, and the error (the one
+// from the lowest-indexed failing job) is too.
+func RunSims(jobs []SimJob) ([]trace.Result, error) {
+	type outcome struct {
+		res trace.Result
+		err error
+	}
+	// Grain 1: jobs are few and coarse (each is a whole simulation), so
+	// per-job scheduling costs nothing relative to the work.
+	out := parallel.Map(len(jobs), 1, func(i int) outcome {
+		eng := enginePool.Get().(*netsim.Engine)
+		res, err := trace.ReplayOn(eng, jobs[i].Prog, jobs[i].Mapping, jobs[i].Cfg)
+		enginePool.Put(eng)
+		return outcome{res: res, err: err}
+	})
+	results := make([]trace.Result, len(jobs))
+	for i, o := range out {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[i] = o.res
+	}
+	return results, nil
+}

@@ -14,6 +14,7 @@ import (
 // sorted first.
 var algorithmPkgs = []string{
 	"internal/core",
+	"internal/netsim",
 	"internal/parallel",
 	"internal/partition",
 	"internal/baselines",
@@ -25,8 +26,9 @@ func init() {
 	Register(&Analyzer{
 		Name: "determinism",
 		Doc: "flags `range` over a map in algorithm packages (internal/core, " +
-			"internal/parallel, internal/partition, internal/baselines, " +
-			"internal/taskgraph, internal/topology) unless the loop only " +
+			"internal/netsim, internal/parallel, internal/partition, " +
+			"internal/baselines, internal/taskgraph, internal/topology) " +
+			"unless the loop only " +
 			"collects keys/values that " +
 			"are sorted immediately afterwards; map iteration order would " +
 			"otherwise leak nondeterminism into mappings",

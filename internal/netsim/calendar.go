@@ -1,0 +1,233 @@
+package netsim
+
+import "math"
+
+// calQueue is a calendar queue (R. Brown, CACM 1988): pending events hash
+// into time buckets of a fixed width, and dequeue walks the bucket "year"
+// in time order. Each bucket is kept as a small binary min-heap ordered
+// by (at, seq), so a burst of equal timestamps — routine in a simulator
+// whose packets quantize to transmission times — costs O(log burst) per
+// operation instead of degenerating into linear bucket scans. With the
+// width calibrated to the mean inter-event gap, bucket heaps stay a few
+// events deep and both operations are amortized O(1) versus the global
+// heap's O(log n).
+//
+// Correctness does not depend on tuning: dequeue always returns the
+// strict (at, seq) minimum of the queue, so the dispatch order — and
+// therefore every simulation statistic — is identical to the binary
+// heap's. Two invariants make the windowed walk exact:
+//
+//  1. An event belongs to virtual bucket vbOf(at) by the same float
+//     computation on both the enqueue and dequeue sides, so boundary
+//     rounding can never strand an event between windows.
+//  2. All events of one window share one physical bucket, and a bucket's
+//     heap root is its earliest event; if the root lies beyond the
+//     current window, the window is empty and the walk may advance.
+type calQueue struct {
+	buckets [][]event
+	mask    int64   // len(buckets)-1; bucket count is a power of two
+	width   float64 // seconds per bucket
+	n       int     // total pending events
+	curVB   int64   // virtual bucket (time window) currently being drained
+	scratch []event // reused by regrow so resizing stays zero-alloc when warm
+}
+
+// maxVB clamps virtual bucket numbers so the float→int conversion stays
+// in range; every event beyond the clamp shares one final window, whose
+// bucket heap still dispatches in exact (at, seq) order.
+const maxVB = int64(1) << 62
+
+func (q *calQueue) vbOf(at float64) int64 {
+	v := at / q.width
+	if v >= float64(maxVB) {
+		return maxVB
+	}
+	return int64(v)
+}
+
+// init sizes the bucket array to the pending population, calibrates the
+// bucket width from a sample of inter-event gaps, and inserts every
+// event. Existing bucket storage is reused when possible.
+func (q *calQueue) init(events []event) {
+	nb := 1
+	for nb < len(events) {
+		nb *= 2
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	if cap(q.buckets) >= nb {
+		q.buckets = q.buckets[:nb]
+		for i := range q.buckets {
+			clear(q.buckets[i])
+			q.buckets[i] = q.buckets[i][:0]
+		}
+	} else {
+		q.buckets = make([][]event, nb)
+	}
+	q.mask = int64(nb - 1)
+	q.width = calibrateWidth(events)
+	q.n = 0
+	q.curVB = maxVB
+	for i := range events {
+		q.push(events[i])
+	}
+}
+
+// calibrateWidth estimates a bucket width that spreads the current
+// population at a few events per bucket: the population's time span
+// (estimated from a strided sample's min and max) divided by the
+// population size gives the mean inter-event gap. Degenerate samples
+// (everything simultaneous) fall back to a width of one second — a
+// single hot window, which the bucket heap still handles in O(log n).
+// Allocation-free, so scheduler migration stays zero-alloc once bucket
+// storage is warm.
+func calibrateWidth(events []event) float64 {
+	const sample = 64
+	k := len(events)
+	if k > sample {
+		k = sample
+	}
+	if k < 2 {
+		return 1.0
+	}
+	stride := len(events) / k
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < k; i++ {
+		at := events[i*stride].at
+		if at < lo {
+			lo = at
+		}
+		if at > hi {
+			hi = at
+		}
+	}
+	span := hi - lo
+	if !(span > 0) || math.IsInf(span, 0) {
+		return 1.0
+	}
+	// Three mean gaps per bucket keeps occupancy low without making the
+	// year so short that far-future events force full rescans.
+	return 3 * span / float64(len(events)-1)
+}
+
+// push inserts ev into its bucket's heap. The queue grows (rebucketing
+// the population) when occupancy exceeds four events per bucket.
+func (q *calQueue) push(ev event) {
+	vb := q.vbOf(ev.at)
+	if vb < q.curVB {
+		q.curVB = vb
+	}
+	bi := int(vb & q.mask)
+	b := append(q.buckets[bi], ev)
+	// Sift up within the bucket heap.
+	i := len(b) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(&b[i], &b[parent]) {
+			break
+		}
+		b[i], b[parent] = b[parent], b[i]
+		i = parent
+	}
+	q.buckets[bi] = b
+	q.n++
+	if q.n > 4*len(q.buckets) {
+		q.regrow()
+	}
+}
+
+// regrow rebuilds the queue with double the buckets and a fresh width.
+func (q *calQueue) regrow() {
+	all := q.scratch[:0]
+	for i := range q.buckets {
+		all = append(all, q.buckets[i]...)
+	}
+	q.init(all)
+	clear(all)
+	q.scratch = all[:0]
+}
+
+// pop removes and returns the (at, seq)-minimum event; the queue must be
+// non-empty. It walks forward from the current time window; a window is
+// non-empty exactly when its bucket's heap root belongs to it. After a
+// full empty year it jumps directly to the earliest populated window, so
+// far-future backlogs cost one linear pass instead of an unbounded walk.
+func (q *calQueue) pop() event {
+	for scanned := 0; ; {
+		bi := int(q.curVB & q.mask)
+		b := q.buckets[bi]
+		if len(b) > 0 && q.vbOf(b[0].at) == q.curVB {
+			ev := b[0]
+			last := len(b) - 1
+			b[0] = b[last]
+			b[last] = event{}
+			b = b[:last]
+			// Sift down from the root.
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				min := i
+				if l < len(b) && evLess(&b[l], &b[min]) {
+					min = l
+				}
+				if r < len(b) && evLess(&b[r], &b[min]) {
+					min = r
+				}
+				if min == i {
+					break
+				}
+				b[i], b[min] = b[min], b[i]
+				i = min
+			}
+			q.buckets[bi] = b
+			q.n--
+			return ev
+		}
+		q.curVB++
+		scanned++
+		if scanned > len(q.buckets) {
+			q.curVB = q.minVB()
+			scanned = 0
+		}
+	}
+}
+
+// minVB finds the earliest populated time window by inspecting every
+// bucket's heap root (rare slow path).
+func (q *calQueue) minVB() int64 {
+	m := maxVB
+	for _, b := range q.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if vb := q.vbOf(b[0].at); vb < m {
+			m = vb
+		}
+	}
+	return m
+}
+
+// drainTo pops every event into fn in an arbitrary order (the receiver
+// re-establishes priority order); used when migrating back to the heap.
+func (q *calQueue) drainTo(fn func(event)) {
+	for i := range q.buckets {
+		for _, ev := range q.buckets[i] {
+			fn(ev)
+		}
+		clear(q.buckets[i])
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.n = 0
+	q.curVB = maxVB
+}
+
+// reset empties the queue, keeping bucket storage for reuse.
+func (q *calQueue) reset() {
+	for i := range q.buckets {
+		clear(q.buckets[i])
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.n = 0
+	q.curVB = maxVB
+}

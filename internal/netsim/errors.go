@@ -1,0 +1,16 @@
+package netsim
+
+import "fmt"
+
+// ConfigError is the typed validation error NewNetwork returns for an
+// invalid Config, identifying the field at fault so callers (CLIs, sweep
+// runners) can report or correct it instead of chasing NaN latencies or
+// panics out of a running simulation.
+type ConfigError struct {
+	Field  string // the Config field (or field pair) that failed validation
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("netsim: invalid Config.%s: %s", e.Field, e.Reason)
+}

@@ -1,4 +1,4 @@
-package netsim
+package legacy
 
 // Adaptive minimal routing: instead of the topology's fixed
 // dimension-ordered route, each packet chooses — at every hop — the
@@ -9,28 +9,21 @@ package netsim
 // with Config.Adaptive; the experiment suite uses it to quantify how much
 // of TopoLB's advantage survives smarter routing.
 
-// onAdapt is the adaptive-routing packet event: the packet stands at
-// p.cur; either it has arrived, or it picks the least-congested minimal
-// neighbor (lowest CSR position wins ties, matching Neighbors order) and
-// reserves that link.
-func (n *Network) onAdapt(pi int32) {
-	p := &n.pkts[pi]
-	cur, dst := int(p.cur), int(p.dst)
+// forwardAdaptive transmits one packet from cur toward dst, choosing the
+// least-congested minimal next hop at each step.
+func (n *Network) forwardAdaptive(cur, dst int, bytes float64, done func()) {
 	if cur == dst {
-		mi := p.msg
-		n.freePktSlot(pi)
-		n.packetDone(mi)
+		done()
 		return
 	}
 	distCur := n.cfg.Topology.Distance(cur, dst)
-	next, nextLink := -1, int32(-1)
+	next, nextLink := -1, -1
 	var bestFree float64
-	for i := n.nbrOff[cur]; i < n.nbrOff[cur+1]; i++ {
-		u := int(n.nbrNode[i])
+	for _, u := range n.cfg.Topology.Neighbors(cur) {
 		if n.cfg.Topology.Distance(u, dst) != distCur-1 {
 			continue
 		}
-		li := n.nbrLink[i]
+		li := n.links.Index(cur, u)
 		if next < 0 || n.freeAt[li] < bestFree {
 			next, nextLink, bestFree = u, li, n.freeAt[li]
 		}
@@ -40,13 +33,14 @@ func (n *Network) onAdapt(pi int32) {
 		// against inconsistent Distance/Neighbors implementations.
 		panic("netsim: no minimal next hop — inconsistent topology")
 	}
-	tx := n.msgs[p.msg].bytes / n.cfg.LinkBandwidth
-	start := n.eng.now
+	tx := bytes / n.cfg.LinkBandwidth
+	start := n.eng.Now()
 	if n.freeAt[nextLink] > start {
 		start = n.freeAt[nextLink]
 	}
 	n.freeAt[nextLink] = start + tx
 	n.busy[nextLink] += tx
-	p.cur = int32(next)
-	n.eng.scheduleEvent(event{at: start + tx + n.cfg.LinkLatency, kind: evAdapt, net: n, idx: pi})
+	n.eng.Schedule(start+tx+n.cfg.LinkLatency, func() {
+		n.forwardAdaptive(next, dst, bytes, done)
+	})
 }

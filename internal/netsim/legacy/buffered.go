@@ -1,4 +1,6 @@
-package netsim
+package legacy
+
+import "container/list"
 
 // Buffered (credit-based) flow control: with Config.BufferPackets > 0,
 // each receiving node grants a finite number of packet buffers per
@@ -14,66 +16,64 @@ package netsim
 // virtual channel 0 and switches to virtual channel 1 for the rest of
 // the current dimension after crossing the wraparound seam, breaking the
 // cyclic buffer dependency exactly as BlueGene's torus hardware does.
-//
-// Waiting packets queue on intrusive singly-linked lists threaded through
-// the Network's packet pool (packet.next), so flow control allocates
-// nothing in steady state.
 
 // vchannels is the number of virtual channels per link.
 const vchannels = 2
 
+// bufPacket is one packet traversing the buffered network.
+type bufPacket struct {
+	path  []int // remaining route: path[hop] is current node
+	hop   int   // index of the current node in path
+	vc    int   // current virtual channel
+	bytes float64
+	done  func()
+	// heldLink/heldVC identify the upstream buffer this packet occupies
+	// (-1 when at the source).
+	heldLink, heldVC int
+}
+
 // bufLink is the state of one directed link under buffered flow control.
-// qhead/qtail are per-VC FIFO queues of waiting packet pool indices.
 type bufLink struct {
 	busy    bool
-	credits [vchannels]int32
-	qhead   [vchannels]int32
-	qtail   [vchannels]int32
+	credits [vchannels]int
+	waiting [vchannels]*list.List // queued packets per requested VC
 }
 
 // bufNetwork augments Network with buffered flow-control state.
 type bufNetwork struct {
 	n     *Network
 	links []bufLink
-	dims  []int // cached Coordinated dims (nil for seamless topologies)
 }
 
 func newBufNetwork(n *Network) *bufNetwork {
 	b := &bufNetwork{n: n, links: make([]bufLink, n.links.Len())}
-	if co, ok := n.cfg.Topology.(interface{ Dims() []int }); ok {
-		b.dims = co.Dims()
-	}
 	for i := range b.links {
 		for vc := 0; vc < vchannels; vc++ {
-			b.links[i].credits[vc] = int32(n.cfg.BufferPackets)
-			b.links[i].qhead[vc] = -1
-			b.links[i].qtail[vc] = -1
+			b.links[i].credits[vc] = n.cfg.BufferPackets
+			b.links[i].waiting[vc] = list.New()
 		}
 	}
 	return b
 }
 
+// inject starts a packet at its source.
+func (b *bufNetwork) inject(path []int, bytes float64, done func()) {
+	p := &bufPacket{path: path, bytes: bytes, done: done, heldLink: -1, heldVC: -1}
+	b.request(p)
+}
+
 // request asks for the packet's next hop to begin, queueing if the link
-// is busy or the downstream buffer is full. It doubles as the injection
-// event (evBufReq) for packets starting at their source.
-func (b *bufNetwork) request(pi int32) {
-	p := &b.n.pkts[pi]
-	path := b.n.msgs[p.msg].path
-	cur, next := path[p.hop], path[p.hop+1]
-	li := b.n.linkIndex(cur, next)
-	p.vc = b.chooseVC(p, path)
+// is busy or the downstream buffer is full.
+func (b *bufNetwork) request(p *bufPacket) {
+	cur, next := p.path[p.hop], p.path[p.hop+1]
+	li := b.n.links.Index(cur, next)
+	p.vc = b.chooseVC(p)
 	l := &b.links[li]
 	if l.busy || l.credits[p.vc] == 0 {
-		p.next = -1
-		if tail := l.qtail[p.vc]; tail >= 0 {
-			b.n.pkts[tail].next = pi
-		} else {
-			l.qhead[p.vc] = pi
-		}
-		l.qtail[p.vc] = pi
+		l.waiting[p.vc].PushBack(p)
 		return
 	}
-	b.start(li, pi)
+	b.start(li, p)
 }
 
 // chooseVC applies the dateline rule: switch to VC 1 when the upcoming
@@ -81,14 +81,14 @@ func (b *bufNetwork) request(pi int32) {
 // stay there until the dimension changes direction of travel — detected
 // conservatively by reverting to VC 0 only at dimension boundaries, i.e.
 // when the previous hop was in a different dimension than the next.
-func (b *bufNetwork) chooseVC(p *packet, path []int) int8 {
-	cur, next := path[p.hop], path[p.hop+1]
-	if wrapsDims(b.dims, cur, next) {
+func (b *bufNetwork) chooseVC(p *bufPacket) int {
+	cur, next := p.path[p.hop], p.path[p.hop+1]
+	if wraps(b.n, cur, next) {
 		return 1
 	}
 	if p.hop > 0 {
-		prev := path[p.hop-1]
-		if dimOfDims(b.dims, prev, cur) == dimOfDims(b.dims, cur, next) && p.vc == 1 {
+		prev := p.path[p.hop-1]
+		if sameDimension(b.n, prev, cur, next) && p.vc == 1 {
 			return 1 // still in a dimension whose seam we crossed
 		}
 	}
@@ -103,13 +103,7 @@ func wraps(n *Network, a, b int) bool {
 	if !ok {
 		return false
 	}
-	return wrapsDims(co.Dims(), a, b)
-}
-
-func wrapsDims(dims []int, a, b int) bool {
-	if dims == nil {
-		return false
-	}
+	dims := co.Dims()
 	diff := b - a
 	if diff < 0 {
 		diff = -diff
@@ -127,13 +121,19 @@ func wrapsDims(dims []int, a, b int) bool {
 	return false
 }
 
-// dimOfDims returns the dimension the hop a→b moves in (equal absolute
-// rank deltas modulo seam adjustment is approximated by comparing which
-// stride bucket each delta falls in); -1 when unknown.
-func dimOfDims(dims []int, a, b int) int {
-	if dims == nil {
+// sameDimension reports whether hops prev→cur and cur→next move in the
+// same dimension (equal absolute rank deltas modulo seam adjustment is
+// approximated by comparing which stride bucket each delta falls in).
+func sameDimension(n *Network, prev, cur, next int) bool {
+	return dimOf(n, prev, cur) == dimOf(n, cur, next)
+}
+
+func dimOf(n *Network, a, b int) int {
+	co, ok := n.cfg.Topology.(interface{ Dims() []int })
+	if !ok {
 		return 0
 	}
+	dims := co.Dims()
 	diff := b - a
 	if diff < 0 {
 		diff = -diff
@@ -148,54 +148,46 @@ func dimOfDims(dims []int, a, b int) int {
 	return -1
 }
 
-// start transmits packet pi across link li; the downstream buffer credit
-// is consumed immediately (cut-through reservation).
-func (b *bufNetwork) start(li int32, pi int32) {
-	p := &b.n.pkts[pi]
+// start transmits p across link li; the downstream buffer credit is
+// consumed immediately (cut-through reservation).
+func (b *bufNetwork) start(li int, p *bufPacket) {
 	l := &b.links[li]
 	l.busy = true
 	l.credits[p.vc]--
-	tx := b.n.msgs[p.msg].bytes / b.n.cfg.LinkBandwidth
+	tx := p.bytes / b.n.cfg.LinkBandwidth
 	b.n.busy[li] += tx
-	b.n.eng.scheduleEvent(event{at: b.n.eng.now + tx, kind: evBufFree, net: b.n, idx: pi, link: li})
+	b.n.eng.After(tx, func() {
+		l.busy = false
+		b.pumpLink(li)
+		b.n.eng.After(b.n.cfg.LinkLatency, func() { b.arrive(li, p) })
+	})
 }
 
-// onFree fires when link li finishes transmitting packet pi: the link
-// frees (waking a waiting packet), and the packet's wire flight begins.
-func (b *bufNetwork) onFree(li int32, pi int32) {
-	b.links[li].busy = false
-	b.pumpLink(li)
-	b.n.eng.scheduleEvent(event{at: b.n.eng.now + b.n.cfg.LinkLatency, kind: evBufArrive, net: b.n, idx: pi, link: li})
-}
-
-// onArrive lands packet pi in the downstream buffer of link li.
-func (b *bufNetwork) onArrive(li int32, pi int32) {
-	p := &b.n.pkts[pi]
+// arrive lands p in the downstream buffer of link li.
+func (b *bufNetwork) arrive(li int, p *bufPacket) {
 	// Release the upstream buffer the packet came from.
 	if p.heldLink >= 0 {
 		b.release(p.heldLink, p.heldVC)
 	}
 	p.heldLink, p.heldVC = li, p.vc
 	p.hop++
-	if int(p.hop) == len(b.n.msgs[p.msg].path)-1 {
+	if p.hop == len(p.path)-1 {
 		// Consumed at the destination: free the buffer at once.
 		b.release(p.heldLink, p.heldVC)
-		mi := p.msg
-		b.n.freePktSlot(pi)
-		b.n.packetDone(mi)
+		p.done()
 		return
 	}
-	b.request(pi)
+	b.request(p)
 }
 
 // release returns a credit and wakes a waiting packet if possible.
-func (b *bufNetwork) release(li int32, vc int8) {
+func (b *bufNetwork) release(li, vc int) {
 	b.links[li].credits[vc]++
 	b.pumpLink(li)
 }
 
 // pumpLink starts the longest-waiting eligible packet on link li.
-func (b *bufNetwork) pumpLink(li int32) {
+func (b *bufNetwork) pumpLink(li int) {
 	l := &b.links[li]
 	if l.busy {
 		return
@@ -206,17 +198,10 @@ func (b *bufNetwork) pumpLink(li int32) {
 		if l.credits[vc] == 0 {
 			continue
 		}
-		pi := l.qhead[vc]
-		if pi < 0 {
-			continue
+		if e := l.waiting[vc].Front(); e != nil {
+			l.waiting[vc].Remove(e)
+			b.start(li, e.Value.(*bufPacket))
+			return
 		}
-		nxt := b.n.pkts[pi].next
-		l.qhead[vc] = nxt
-		if nxt < 0 {
-			l.qtail[vc] = -1
-		}
-		b.n.pkts[pi].next = -1
-		b.start(li, pi)
-		return
 	}
 }

@@ -1,0 +1,238 @@
+package legacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Topology provides nodes, links, and deterministic routes.
+	Topology topology.Router
+	// LinkBandwidth is per-link bandwidth in bytes/second. The paper's
+	// Figures 7–9 sweep this from 100 MB/s to 1 GB/s.
+	LinkBandwidth float64
+	// LinkLatency is the fixed per-hop latency in seconds (switch + wire).
+	LinkLatency float64
+	// PacketSize splits messages into packets of at most this many bytes,
+	// letting packets of different messages interleave on links. Zero
+	// sends each message as a single unit.
+	PacketSize int
+	// SendOverhead is per-message CPU time charged at the source before
+	// injection (software stack cost). Optional.
+	SendOverhead float64
+	// Adaptive switches from deterministic dimension-ordered routing to
+	// adaptive minimal routing: each packet picks, hop by hop, the
+	// minimal next link that frees up earliest.
+	Adaptive bool
+	// BufferPackets enables credit-based flow control: each (link,
+	// virtual channel) pair grants this many downstream packet buffers,
+	// and packets block upstream when buffers fill (virtual cut-through
+	// with backpressure; see buffered.go). Zero keeps the default
+	// infinite-queue link-reservation model. Mutually exclusive with
+	// Adaptive.
+	BufferPackets int
+	// CollectLatencies records every message's latency so Stats can
+	// report percentiles (P50/P95/P99). Costs memory proportional to the
+	// message count; off by default.
+	CollectLatencies bool
+}
+
+func (c *Config) validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("netsim: Config.Topology is required")
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("netsim: LinkBandwidth must be positive, got %v", c.LinkBandwidth)
+	}
+	if c.LinkLatency < 0 || c.SendOverhead < 0 {
+		return fmt.Errorf("netsim: negative latency or overhead")
+	}
+	if c.PacketSize < 0 {
+		return fmt.Errorf("netsim: negative PacketSize")
+	}
+	if c.BufferPackets < 0 {
+		return fmt.Errorf("netsim: negative BufferPackets")
+	}
+	if c.BufferPackets > 0 && c.Adaptive {
+		return fmt.Errorf("netsim: BufferPackets and Adaptive are mutually exclusive")
+	}
+	return nil
+}
+
+// Network simulates message transport over a topology. Use Send to inject
+// messages; delivery callbacks fire inside Engine.Run.
+type Network struct {
+	cfg    Config
+	eng    *Engine
+	links  *topology.LinkSet
+	freeAt []float64 // per-link: time the link becomes free
+	busy   []float64 // per-link: accumulated transmission time
+	buf    *bufNetwork
+
+	// Statistics.
+	sent      int
+	delivered int
+	latSum    float64
+	latMax    float64
+	bytesSent float64
+	latencies []float64 // populated when cfg.CollectLatencies
+}
+
+// NewNetwork builds a network bound to an engine.
+func NewNetwork(eng *Engine, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ls := topology.EnumerateLinks(cfg.Topology)
+	n := &Network{
+		cfg:    cfg,
+		eng:    eng,
+		links:  ls,
+		freeAt: make([]float64, ls.Len()),
+		busy:   make([]float64, ls.Len()),
+	}
+	if cfg.BufferPackets > 0 {
+		n.buf = newBufNetwork(n)
+	}
+	return n, nil
+}
+
+// Send injects a message of size bytes from src to dst at the current
+// simulation time; onDelivered (may be nil) fires when the last packet
+// arrives. Messages to self are delivered immediately.
+func (n *Network) Send(src, dst int, bytes float64, onDelivered func()) {
+	n.sent++
+	n.bytesSent += bytes
+	start := n.eng.Now() + n.cfg.SendOverhead
+	if src == dst {
+		n.eng.Schedule(start, func() {
+			n.recordDelivery(n.eng.Now() - start)
+			if onDelivered != nil {
+				onDelivered()
+			}
+		})
+		return
+	}
+	var path []int
+	if !n.cfg.Adaptive {
+		path = n.cfg.Topology.Route(nil, src, dst)
+	}
+	packets := 1
+	packetBytes := bytes
+	if n.cfg.PacketSize > 0 && bytes > float64(n.cfg.PacketSize) {
+		packets = int(math.Ceil(bytes / float64(n.cfg.PacketSize)))
+		packetBytes = bytes / float64(packets)
+	}
+	remaining := packets
+	lastPacket := func() {
+		remaining--
+		if remaining == 0 {
+			n.recordDelivery(n.eng.Now() - start)
+			if onDelivered != nil {
+				onDelivered()
+			}
+		}
+	}
+	for pkt := 0; pkt < packets; pkt++ {
+		n.eng.Schedule(start, func() {
+			switch {
+			case n.cfg.Adaptive:
+				n.forwardAdaptive(src, dst, packetBytes, lastPacket)
+			case n.buf != nil:
+				n.buf.inject(path, packetBytes, lastPacket)
+			default:
+				n.forward(path, 0, packetBytes, lastPacket)
+			}
+		})
+	}
+}
+
+// forward transmits one packet across path[hop] -> path[hop+1], reserving
+// the link FIFO-fashion, then recurses until the destination.
+func (n *Network) forward(path []int, hop int, bytes float64, done func()) {
+	if hop == len(path)-1 {
+		done()
+		return
+	}
+	li := n.links.Index(path[hop], path[hop+1])
+	tx := bytes / n.cfg.LinkBandwidth
+	start := n.eng.Now()
+	if n.freeAt[li] > start {
+		start = n.freeAt[li]
+	}
+	n.freeAt[li] = start + tx
+	n.busy[li] += tx
+	n.eng.Schedule(start+tx+n.cfg.LinkLatency, func() {
+		n.forward(path, hop+1, bytes, done)
+	})
+}
+
+func (n *Network) recordDelivery(latency float64) {
+	n.delivered++
+	n.latSum += latency
+	if latency > n.latMax {
+		n.latMax = latency
+	}
+	if n.cfg.CollectLatencies {
+		n.latencies = append(n.latencies, latency)
+	}
+}
+
+// Stats summarizes a finished (or in-progress) simulation.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	BytesSent         float64
+	AvgLatency        float64 // seconds, over delivered messages
+	MaxLatency        float64
+	MaxLinkBusy       float64 // busiest link's total transmission seconds
+	AvgLinkBusy       float64
+	// P50/P95/P99 latency percentiles; populated only when
+	// Config.CollectLatencies is set.
+	P50, P95, P99 float64
+}
+
+// Stats returns current statistics.
+func (n *Network) Stats() Stats {
+	s := Stats{
+		MessagesSent:      n.sent,
+		MessagesDelivered: n.delivered,
+		BytesSent:         n.bytesSent,
+		MaxLatency:        n.latMax,
+	}
+	if n.delivered > 0 {
+		s.AvgLatency = n.latSum / float64(n.delivered)
+	}
+	sum := 0.0
+	for _, b := range n.busy {
+		sum += b
+		if b > s.MaxLinkBusy {
+			s.MaxLinkBusy = b
+		}
+	}
+	if len(n.busy) > 0 {
+		s.AvgLinkBusy = sum / float64(len(n.busy))
+	}
+	if len(n.latencies) > 0 {
+		sorted := append([]float64(nil), n.latencies...)
+		sort.Float64s(sorted)
+		pct := func(q float64) float64 {
+			// Nearest-rank percentile.
+			i := int(math.Ceil(q*float64(len(sorted)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return sorted[i]
+		}
+		s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
+	}
+	return s
+}
+
+// Latencies returns the recorded per-message latencies (nil unless
+// Config.CollectLatencies); the slice must not be modified.
+func (n *Network) Latencies() []float64 { return n.latencies }

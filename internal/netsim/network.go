@@ -41,26 +41,54 @@ type Config struct {
 	CollectLatencies bool
 }
 
+// validate checks every field up front and returns a *ConfigError naming
+// the offending field; simulations never start from an invalid Config, so
+// NaN/Inf latencies and deep-in-the-run panics cannot occur.
 func (c *Config) validate() error {
 	if c.Topology == nil {
-		return fmt.Errorf("netsim: Config.Topology is required")
+		return &ConfigError{Field: "Topology", Reason: "required"}
 	}
-	if c.LinkBandwidth <= 0 {
-		return fmt.Errorf("netsim: LinkBandwidth must be positive, got %v", c.LinkBandwidth)
+	if math.IsNaN(c.LinkBandwidth) || c.LinkBandwidth <= 0 {
+		return &ConfigError{Field: "LinkBandwidth", Reason: fmt.Sprintf("must be positive, got %v", c.LinkBandwidth)}
 	}
-	if c.LinkLatency < 0 || c.SendOverhead < 0 {
-		return fmt.Errorf("netsim: negative latency or overhead")
+	if math.IsNaN(c.LinkLatency) || c.LinkLatency < 0 {
+		return &ConfigError{Field: "LinkLatency", Reason: fmt.Sprintf("must be non-negative, got %v", c.LinkLatency)}
+	}
+	if math.IsNaN(c.SendOverhead) || c.SendOverhead < 0 {
+		return &ConfigError{Field: "SendOverhead", Reason: fmt.Sprintf("must be non-negative, got %v", c.SendOverhead)}
 	}
 	if c.PacketSize < 0 {
-		return fmt.Errorf("netsim: negative PacketSize")
+		return &ConfigError{Field: "PacketSize", Reason: fmt.Sprintf("must be non-negative, got %d", c.PacketSize)}
 	}
 	if c.BufferPackets < 0 {
-		return fmt.Errorf("netsim: negative BufferPackets")
+		return &ConfigError{Field: "BufferPackets", Reason: fmt.Sprintf("must be non-negative, got %d", c.BufferPackets)}
 	}
 	if c.BufferPackets > 0 && c.Adaptive {
-		return fmt.Errorf("netsim: BufferPackets and Adaptive are mutually exclusive")
+		return &ConfigError{Field: "BufferPackets/Adaptive", Reason: "mutually exclusive"}
 	}
 	return nil
+}
+
+// packet is one in-flight packet, pooled on the Network. Which fields are
+// live depends on the routing mode; the indices tie it back to its parent
+// message and (in buffered mode) the wait queue it sits on.
+type packet struct {
+	next     int32 // intrusive wait-queue link (buffered mode); -1 end
+	msg      int32 // parent message pool index
+	hop      int32 // index of the current node in the message's path
+	cur, dst int32 // adaptive mode: current node and destination
+	heldLink int32 // buffered: upstream buffer occupied (-1 at source)
+	vc       int8  // buffered: current virtual channel
+	heldVC   int8
+}
+
+// message is one in-flight message, pooled on the Network.
+type message struct {
+	path      []int // deterministic route; storage reused across messages
+	bytes     float64
+	start     float64 // injection time (latency is measured from here)
+	remaining int32   // packets not yet delivered
+	onDone    func()  // caller's delivery callback (may be nil)
 }
 
 // Network simulates message transport over a topology. Use Send to inject
@@ -72,6 +100,22 @@ type Network struct {
 	freeAt []float64 // per-link: time the link becomes free
 	busy   []float64 // per-link: accumulated transmission time
 	buf    *bufNetwork
+
+	// CSR adjacency with dense link ids: the neighbors of node v are
+	// nbrNode[nbrOff[v]:nbrOff[v+1]], in Topology.Neighbors order, and
+	// nbrLink holds each edge's LinkSet index. Replaces the map lookup in
+	// LinkSet.Index on the per-hop hot path.
+	nbrOff  []int32
+	nbrNode []int32
+	nbrLink []int32
+
+	// Free-list pools: steady-state simulation recycles message and
+	// packet records (and their route storage) instead of allocating.
+	msgs    []message
+	freeMsg []int32
+	pkts    []packet
+	freePkt []int32
+	pathCap int // high-water route length; pre-grows reused path buffers
 
 	// Statistics.
 	sent      int
@@ -95,10 +139,67 @@ func NewNetwork(eng *Engine, cfg Config) (*Network, error) {
 		freeAt: make([]float64, ls.Len()),
 		busy:   make([]float64, ls.Len()),
 	}
+	nodes := cfg.Topology.Nodes()
+	n.nbrOff = make([]int32, nodes+1)
+	n.nbrNode = make([]int32, 0, ls.Len())
+	n.nbrLink = make([]int32, 0, ls.Len())
+	for v := 0; v < nodes; v++ {
+		for _, u := range cfg.Topology.Neighbors(v) {
+			n.nbrNode = append(n.nbrNode, int32(u))
+			n.nbrLink = append(n.nbrLink, int32(ls.Index(v, u)))
+		}
+		n.nbrOff[v+1] = int32(len(n.nbrNode))
+	}
 	if cfg.BufferPackets > 0 {
 		n.buf = newBufNetwork(n)
 	}
 	return n, nil
+}
+
+// linkIndex returns the dense index of the directed link from a to b by
+// scanning a's (constant-degree) CSR row — faster than the LinkSet map
+// on the per-hop path. It panics if (a, b) is not a link.
+func (n *Network) linkIndex(a, b int) int32 {
+	lo, hi := n.nbrOff[a], n.nbrOff[a+1]
+	for i := lo; i < hi; i++ {
+		if n.nbrNode[i] == int32(b) {
+			return n.nbrLink[i]
+		}
+	}
+	panic(fmt.Sprintf("netsim: (%d,%d) is not a link", a, b))
+}
+
+// allocMsg takes a message record from the pool (or grows it).
+func (n *Network) allocMsg() int32 {
+	if k := len(n.freeMsg); k > 0 {
+		mi := n.freeMsg[k-1]
+		n.freeMsg = n.freeMsg[:k-1]
+		return mi
+	}
+	n.msgs = append(n.msgs, message{})
+	return int32(len(n.msgs) - 1)
+}
+
+// freeMsgSlot returns a message record to the pool, keeping its route
+// storage and dropping the callback reference.
+func (n *Network) freeMsgSlot(mi int32) {
+	n.msgs[mi].onDone = nil
+	n.freeMsg = append(n.freeMsg, mi)
+}
+
+// allocPkt takes a packet record from the pool (or grows it).
+func (n *Network) allocPkt() int32 {
+	if k := len(n.freePkt); k > 0 {
+		pi := n.freePkt[k-1]
+		n.freePkt = n.freePkt[:k-1]
+		return pi
+	}
+	n.pkts = append(n.pkts, packet{})
+	return int32(len(n.pkts) - 1)
+}
+
+func (n *Network) freePktSlot(pi int32) {
+	n.freePkt = append(n.freePkt, pi)
 }
 
 // Send injects a message of size bytes from src to dst at the current
@@ -107,19 +208,28 @@ func NewNetwork(eng *Engine, cfg Config) (*Network, error) {
 func (n *Network) Send(src, dst int, bytes float64, onDelivered func()) {
 	n.sent++
 	n.bytesSent += bytes
-	start := n.eng.Now() + n.cfg.SendOverhead
+	start := n.eng.now + n.cfg.SendOverhead
+	mi := n.allocMsg()
+	m := &n.msgs[mi]
+	m.start = start
+	m.onDone = onDelivered
 	if src == dst {
-		n.eng.Schedule(start, func() {
-			n.recordDelivery(n.eng.Now() - start)
-			if onDelivered != nil {
-				onDelivered()
-			}
-		})
+		m.remaining = 1
+		n.eng.scheduleEvent(event{at: start, kind: evSelf, net: n, idx: mi})
 		return
 	}
-	var path []int
 	if !n.cfg.Adaptive {
-		path = n.cfg.Topology.Route(nil, src, dst)
+		// Bring a reused slot's route buffer up to the longest route seen
+		// so far in one step; without this, free-list recycling permutes
+		// slots across runs and append keeps doubling a different buffer
+		// each time, spoiling the zero-alloc steady state.
+		if cap(m.path) < n.pathCap {
+			m.path = make([]int, 0, n.pathCap)
+		}
+		m.path = n.cfg.Topology.Route(m.path[:0], src, dst)
+		if len(m.path) > n.pathCap {
+			n.pathCap = len(m.path)
+		}
 	}
 	packets := 1
 	packetBytes := bytes
@@ -127,48 +237,77 @@ func (n *Network) Send(src, dst int, bytes float64, onDelivered func()) {
 		packets = int(math.Ceil(bytes / float64(n.cfg.PacketSize)))
 		packetBytes = bytes / float64(packets)
 	}
-	remaining := packets
-	lastPacket := func() {
-		remaining--
-		if remaining == 0 {
-			n.recordDelivery(n.eng.Now() - start)
-			if onDelivered != nil {
-				onDelivered()
-			}
-		}
-	}
+	m.bytes = packetBytes
+	m.remaining = int32(packets)
 	for pkt := 0; pkt < packets; pkt++ {
-		n.eng.Schedule(start, func() {
-			switch {
-			case n.cfg.Adaptive:
-				n.forwardAdaptive(src, dst, packetBytes, lastPacket)
-			case n.buf != nil:
-				n.buf.inject(path, packetBytes, lastPacket)
-			default:
-				n.forward(path, 0, packetBytes, lastPacket)
-			}
-		})
+		pi := n.allocPkt()
+		p := &n.pkts[pi]
+		p.msg = mi
+		switch {
+		case n.cfg.Adaptive:
+			p.cur, p.dst = int32(src), int32(dst)
+			n.eng.scheduleEvent(event{at: start, kind: evAdapt, net: n, idx: pi})
+		case n.buf != nil:
+			p.hop = 0
+			p.vc, p.heldLink, p.heldVC = 0, -1, -1
+			p.next = -1
+			n.eng.scheduleEvent(event{at: start, kind: evBufReq, net: n, idx: pi})
+		default:
+			p.hop = 0
+			n.eng.scheduleEvent(event{at: start, kind: evHop, net: n, idx: pi})
+		}
 	}
 }
 
-// forward transmits one packet across path[hop] -> path[hop+1], reserving
-// the link FIFO-fashion, then recurses until the destination.
-func (n *Network) forward(path []int, hop int, bytes float64, done func()) {
-	if hop == len(path)-1 {
-		done()
+// onSelf delivers a self-send (zero network latency by construction).
+func (n *Network) onSelf(mi int32) {
+	m := &n.msgs[mi]
+	n.recordDelivery(n.eng.now - m.start)
+	cb := m.onDone
+	n.freeMsgSlot(mi)
+	if cb != nil {
+		cb()
+	}
+}
+
+// onHop is the deterministic-routing packet event: the packet stands at
+// path[hop]; either it has arrived, or it reserves the next link
+// FIFO-fashion and schedules its own next arrival.
+func (n *Network) onHop(pi int32) {
+	p := &n.pkts[pi]
+	m := &n.msgs[p.msg]
+	if int(p.hop) == len(m.path)-1 {
+		mi := p.msg
+		n.freePktSlot(pi)
+		n.packetDone(mi)
 		return
 	}
-	li := n.links.Index(path[hop], path[hop+1])
-	tx := bytes / n.cfg.LinkBandwidth
-	start := n.eng.Now()
+	li := n.linkIndex(m.path[p.hop], m.path[p.hop+1])
+	tx := m.bytes / n.cfg.LinkBandwidth
+	start := n.eng.now
 	if n.freeAt[li] > start {
 		start = n.freeAt[li]
 	}
 	n.freeAt[li] = start + tx
 	n.busy[li] += tx
-	n.eng.Schedule(start+tx+n.cfg.LinkLatency, func() {
-		n.forward(path, hop+1, bytes, done)
-	})
+	p.hop++
+	n.eng.scheduleEvent(event{at: start + tx + n.cfg.LinkLatency, kind: evHop, net: n, idx: pi})
+}
+
+// packetDone retires one packet of message mi; the last packet records
+// the delivery and fires the caller's callback.
+func (n *Network) packetDone(mi int32) {
+	m := &n.msgs[mi]
+	m.remaining--
+	if m.remaining > 0 {
+		return
+	}
+	n.recordDelivery(n.eng.now - m.start)
+	cb := m.onDone
+	n.freeMsgSlot(mi)
+	if cb != nil {
+		cb()
+	}
 }
 
 func (n *Network) recordDelivery(latency float64) {

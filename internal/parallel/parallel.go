@@ -114,6 +114,24 @@ func Reduce[T any](n, grain int, chunk func(lo, hi int) T, merge func(acc, next 
 	return acc
 }
 
+// Map evaluates fn at every index of [0, n) in parallel and returns the
+// results in index order. Each index writes only its own slot, so the
+// output is identical to the serial loop for any worker count; fn itself
+// must not depend on evaluation order. Grain trades scheduling overhead
+// against load balance exactly as in For.
+func Map[R any](n, grain int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
 // argResult carries an argument-reduction candidate: the lowest index seen
 // so far with the extremal value, or idx < 0 when no index qualified.
 type argResult struct {

@@ -191,3 +191,21 @@ func TestFirstStress(t *testing.T) {
 		}
 	})
 }
+
+// TestMapOrderedResults: Map must return fn(i) at index i for any worker
+// count, including empty and sub-grain inputs.
+func TestMapOrderedResults(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 8}, func(procs int) {
+		for _, n := range []int{0, 1, 5, 64, 1003} {
+			out := Map(n, 16, func(i int) int { return i*i + 1 })
+			if len(out) != n {
+				t.Fatalf("procs=%d n=%d: len = %d", procs, n, len(out))
+			}
+			for i, v := range out {
+				if v != i*i+1 {
+					t.Fatalf("procs=%d n=%d: out[%d] = %d, want %d", procs, n, i, v, i*i+1)
+				}
+			}
+		}
+	})
+}

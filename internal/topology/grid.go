@@ -89,8 +89,19 @@ func (g *grid) buildNeighbors(wrap bool) {
 func (g *grid) routeGrid(path []int, a, b int, wrap bool) []int {
 	checkNode(a, g.n)
 	checkNode(b, g.n)
-	ca := make([]int, len(g.dims))
-	cb := make([]int, len(g.dims))
+	// Coordinate scratch lives on the stack for the dimensionalities that
+	// occur in practice: routing is a per-message hot path in netsim, and
+	// heap coordinates here would be the simulator's only steady-state
+	// allocation. The grid itself stays immutable so concurrent routing
+	// from a parallel sweep needs no locks.
+	var caBuf, cbBuf [8]int
+	var ca, cb []int
+	if len(g.dims) <= len(caBuf) {
+		ca, cb = caBuf[:len(g.dims)], cbBuf[:len(g.dims)]
+	} else {
+		ca = make([]int, len(g.dims))
+		cb = make([]int, len(g.dims))
+	}
 	g.Coord(a, ca)
 	g.Coord(b, cb)
 	path = append(path, a)

@@ -20,6 +20,15 @@ type Result struct {
 // processor; iteration i of a task starts only after its iteration i−1
 // compute finished and all neighbor messages from iteration i−1 arrived.
 func Replay(p *Program, mapping []int, cfg netsim.Config) (Result, error) {
+	return ReplayOn(&netsim.Engine{}, p, mapping, cfg)
+}
+
+// ReplayOn is Replay on a caller-supplied engine, which is Reset first.
+// Reusing one engine across many replays keeps its event storage warm, so
+// a sweep's steady state allocates only per-replay bookkeeping. The
+// program, mapping, and topology are only read, so distinct engines may
+// replay them concurrently.
+func ReplayOn(eng *netsim.Engine, p *Program, mapping []int, cfg netsim.Config) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -34,7 +43,7 @@ func Replay(p *Program, mapping []int, cfg netsim.Config) (Result, error) {
 		}
 	}
 
-	eng := &netsim.Engine{}
+	eng.Reset()
 	net, err := netsim.NewNetwork(eng, cfg)
 	if err != nil {
 		return Result{}, err
