@@ -9,10 +9,14 @@
 //     "baseline" = the frozen pre-rewrite core in internal/netsim/legacy,
 //     "optimized" = the typed-event engine with calendar queue and pooled
 //     packet state. Optimized entries carry events_per_sec.
+//   - suite "service" (BENCH_service.json): the topomapd HTTP service
+//     under load, "cold" = every request a distinct job (computes),
+//     "warm" = one job repeated (result-cache hits). Records QPS, p50/p99
+//     latency, allocs/request, and cache hit rate per grid cell.
 //
 // Usage:
 //
-//	benchjson [-suite mapping|netsim] [-out FILE] [-quick]
+//	benchjson [-suite mapping|netsim|service] [-out FILE] [-quick] [-smoke]
 //
 // Regenerate the matching BENCH_*.json after touching a suite's kernels;
 // the speedup column of the optimized entries against their baseline
@@ -160,9 +164,10 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | service")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
+	smoke := flag.Bool("smoke", false, "service suite: tiny grid, write nothing unless -out is set")
 	flag.Parse()
 
 	var results []Result
@@ -171,6 +176,15 @@ func main() {
 		results = runMappingSuite(*quick)
 	case "netsim":
 		results = runNetsimSuite(*quick)
+	case "service":
+		// The service suite measures a load grid (QPS, latency percentiles,
+		// cache hit rates), not ns/op micro-benchmarks, so it writes its own
+		// report shape.
+		if err := runServiceSuite(*smoke, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(2)

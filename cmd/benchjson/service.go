@@ -1,0 +1,280 @@
+package main
+
+// The service suite load-tests topomapd's engine end to end: an
+// in-process HTTP server (httptest + keep-alive client, so the measured
+// path includes routing, decoding, and response writing) driven over a
+// strategy × size × concurrency grid in two modes:
+//
+//   - "cold": every request carries a distinct seed, so every request is
+//     a distinct content key and must compute its mapping
+//   - "warm": every request is the same job, so after one priming request
+//     the whole run is served from the result cache
+//
+// The committed BENCH_service.json tracks QPS, p50/p99 latency, and
+// allocs/request for both modes; warm_speedup on the warm entries is the
+// cache leverage the ISSUE acceptance criteria track (>= 2x on
+// repeated-topology workloads). Client-side work (request marshaling,
+// response reads) runs in-process, so allocs/request is an upper bound on
+// the server's own allocations.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ServiceResult is one grid cell × mode measurement.
+type ServiceResult struct {
+	Name             string  `json:"name"` // strategy/p=N/conc=C
+	Mode             string  `json:"mode"` // "cold" | "warm"
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Requests         int     `json:"requests"`
+	QPS              float64 `json:"qps"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	BytesPerRequest  float64 `json:"bytes_per_request"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	WarmSpeedup      float64 `json:"warm_speedup_vs_cold,omitempty"`
+}
+
+// ServiceReport is the top-level BENCH_service.json document.
+type ServiceReport struct {
+	Command   string          `json:"command"`
+	GoVersion string          `json:"go_version"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Smoke     bool            `json:"smoke"`
+	Results   []ServiceResult `json:"results"`
+}
+
+// serviceCell is one point of the load grid.
+type serviceCell struct {
+	strategy string
+	dim      int // dim x dim task mesh onto a dim x dim torus
+	conc     int
+}
+
+func serviceCells(smoke bool) []serviceCell {
+	// Sizes start at 12x12: below that the cheapest strategies compute in
+	// ~100us and both modes just measure HTTP round-trip overhead.
+	strategies := []string{"topolb", "topocentlb", "topolb1"}
+	dims := []int{12, 16}
+	concs := []int{1, 4, 16}
+	if smoke {
+		strategies = strategies[:1]
+		dims = dims[:1]
+		concs = []int{1, 4}
+	}
+	var cells []serviceCell
+	for _, s := range strategies {
+		for _, d := range dims {
+			for _, c := range concs {
+				cells = append(cells, serviceCell{strategy: s, dim: d, conc: c})
+			}
+		}
+	}
+	return cells
+}
+
+// jobPayload marshals the grid job for one seed.
+func jobPayload(c serviceCell, seed int64) []byte {
+	spec := service.Job{
+		Graph:    service.GraphSpec{Pattern: fmt.Sprintf("mesh2d:%d,%d", c.dim, c.dim), MsgBytes: 1e5, Seed: seed},
+		Topology: fmt.Sprintf("torus:%d,%d", c.dim, c.dim),
+		Strategy: c.strategy,
+		Seed:     seed,
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// drive fires total requests round-robin over payloads from conc client
+// goroutines and returns wall time and sorted per-request latencies. Any
+// non-200 response aborts the run: a load generator that silently counts
+// errors as throughput would overstate QPS.
+func drive(client *http.Client, url string, payloads [][]byte, total, conc int) (time.Duration, []time.Duration, error) {
+	latencies := make([]time.Duration, total)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || firstErr.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i%len(payloads)]))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if resp.StatusCode != 200 {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d", resp.StatusCode))
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := firstErr.Load(); err != nil {
+		return 0, nil, err.(error)
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	return elapsed, latencies, nil
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// measureCell runs one grid cell in one mode against a fresh server.
+func measureCell(c serviceCell, mode string, total int) (ServiceResult, error) {
+	srv := service.NewServer(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/map"
+
+	var payloads [][]byte
+	switch mode {
+	case "cold":
+		// Distinct seed per request: every request is a distinct content
+		// key and must compute.
+		payloads = make([][]byte, total)
+		for i := range payloads {
+			payloads[i] = jobPayload(c, int64(i+1))
+		}
+	case "warm":
+		// One job repeated; prime the cache so the timed run is all hits.
+		payloads = [][]byte{jobPayload(c, 1)}
+		if _, _, err := drive(ts.Client(), url, payloads, 1, 1); err != nil {
+			return ServiceResult{}, err
+		}
+	}
+
+	before := srv.Snapshot()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	elapsed, latencies, err := drive(ts.Client(), url, payloads, total, c.conc)
+	if err != nil {
+		return ServiceResult{}, fmt.Errorf("%s/%s: %w", c.strategy, mode, err)
+	}
+	runtime.ReadMemStats(&m1)
+	after := srv.Snapshot()
+
+	res := ServiceResult{
+		Name:             fmt.Sprintf("%s/p=%d/conc=%d", c.strategy, c.dim*c.dim, c.conc),
+		Mode:             mode,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Requests:         total,
+		QPS:              float64(total) / elapsed.Seconds(),
+		P50Ms:            percentileMs(latencies, 0.50),
+		P99Ms:            percentileMs(latencies, 0.99),
+		AllocsPerRequest: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		BytesPerRequest:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total),
+	}
+	hits := after.ResultCache.Hits - before.ResultCache.Hits
+	misses := after.ResultCache.Misses - before.ResultCache.Misses
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return res, nil
+}
+
+// runServiceSuite drives the whole grid and writes its own report file
+// (the document shape differs from the micro-benchmark suites). In smoke
+// mode nothing is written unless -out was given explicitly: CI runs the
+// smoke to prove the path works, not to regenerate the committed numbers.
+func runServiceSuite(smoke bool, out string) error {
+	coldTotal, warmTotal := 160, 1600
+	if smoke {
+		coldTotal, warmTotal = 24, 120
+	}
+
+	var results []ServiceResult
+	for _, c := range serviceCells(smoke) {
+		cold, err := measureCell(c, "cold", coldTotal)
+		if err != nil {
+			return err
+		}
+		warm, err := measureCell(c, "warm", warmTotal)
+		if err != nil {
+			return err
+		}
+		if cold.QPS > 0 {
+			warm.WarmSpeedup = warm.QPS / cold.QPS
+		}
+		results = append(results, cold, warm)
+		fmt.Printf("%-28s cold %8.0f qps (p99 %6.2fms, %6.0f allocs/req)  warm %9.0f qps (hit rate %4.2f, speedup %6.1fx)\n",
+			cold.Name, cold.QPS, cold.P99Ms, cold.AllocsPerRequest, warm.QPS, warm.CacheHitRate, warm.WarmSpeedup)
+	}
+
+	if smoke && out == "" {
+		fmt.Println("smoke mode: no report written")
+		return nil
+	}
+	if out == "" {
+		out = "BENCH_service.json"
+	}
+	cmd := "go run ./cmd/benchjson -suite service"
+	if smoke {
+		cmd += " -smoke"
+	}
+	rep := ServiceReport{
+		Command:   cmd,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     smoke,
+		Results:   results,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 	full := flag.Bool("metrics", false, "report dilation, cardinality, and routed link loads")
 	partName := flag.String("partition", "multilevel", "partitioner when tasks > processors: multilevel | greedy")
 	seed := flag.Int64("seed", 1, "seed for randomized components")
+	jsonOut := flag.Bool("json", false, "emit JSON (mappings, reports, and runtime counters) instead of the table")
 	flag.Parse()
 
 	topo, err := cliutil.ParseTopology(*topoSpec)
@@ -58,16 +60,40 @@ func main() {
 		fatalIf(fmt.Errorf("unknown partitioner %q", *partName))
 	}
 
-	fmt.Printf("topology: %s (%d processors, mean distance %.3f)\n",
-		topo.Name(), topo.Nodes(), topology.MeanDistance(topo))
-	fmt.Printf("taskgraph: %s (%d tasks, %d edges, %.3g bytes/iter)\n",
-		g.Name(), g.NumVertices(), g.NumEdges(), g.TotalComm())
-	fmt.Printf("E[random hops/byte] = %.3f\n\n", core.ExpectedRandomHopsPerByte(topo))
-	header := fmt.Sprintf("%-22s  %12s  %12s  %10s", "strategy", "hop-bytes", "hops/byte", "imbalance")
-	if *full {
-		header += fmt.Sprintf("  %9s  %11s  %12s  %8s", "dilation", "cardinality", "maxLinkByte", "linkCV")
+	if !*jsonOut {
+		fmt.Printf("topology: %s (%d processors, mean distance %.3f)\n",
+			topo.Name(), topo.Nodes(), topology.MeanDistance(topo))
+		fmt.Printf("taskgraph: %s (%d tasks, %d edges, %.3g bytes/iter)\n",
+			g.Name(), g.NumVertices(), g.NumEdges(), g.TotalComm())
+		fmt.Printf("E[random hops/byte] = %.3f\n\n", core.ExpectedRandomHopsPerByte(topo))
+		header := fmt.Sprintf("%-22s  %12s  %12s  %10s", "strategy", "hop-bytes", "hops/byte", "imbalance")
+		if *full {
+			header += fmt.Sprintf("  %9s  %11s  %12s  %8s", "dilation", "cardinality", "maxLinkByte", "linkCV")
+		}
+		fmt.Println(header)
 	}
-	fmt.Println(header)
+
+	// jsonReport mirrors the table: one entry per strategy plus the
+	// process-wide reuse counters (distance-matrix cache, engine pool).
+	type jsonEntry struct {
+		Strategy string          `json:"strategy"`
+		Mapping  []int           `json:"mapping"`
+		Report   *metrics.Report `json:"report"`
+	}
+	type jsonReport struct {
+		Topology   string                 `json:"topology"`
+		Processors int                    `json:"processors"`
+		Graph      string                 `json:"graph"`
+		Tasks      int                    `json:"tasks"`
+		Results    []jsonEntry            `json:"results"`
+		Counters   metrics.SystemCounters `json:"counters"`
+	}
+	report := jsonReport{
+		Topology:   topo.Name(),
+		Processors: topo.Nodes(),
+		Graph:      g.Name(),
+		Tasks:      g.NumVertices(),
+	}
 
 	strats, err := cliutil.ParseStrategies(*strategies, *seed)
 	fatalIf(err)
@@ -87,6 +113,12 @@ func main() {
 		}
 		rep, err := metrics.Evaluate(g, topo, placement)
 		fatalIf(err)
+		if *jsonOut {
+			report.Results = append(report.Results, jsonEntry{
+				Strategy: strat.Name(), Mapping: placement, Report: rep,
+			})
+			continue
+		}
 		line := fmt.Sprintf("%-22s  %12.4g  %12.4f  %10.3f",
 			strat.Name(), rep.HopBytes, rep.HopsPerByte, rep.Imbalance)
 		if *full {
@@ -101,6 +133,12 @@ func main() {
 				}
 			}
 		}
+	}
+	if *jsonOut {
+		report.Counters = metrics.Counters()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(report))
 	}
 }
 

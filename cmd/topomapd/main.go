@@ -1,0 +1,64 @@
+// Command topomapd serves topology-aware mapping jobs over HTTP/JSON: a
+// long-running front end for the repository's strategy, metrics, and
+// netsim kernels with cross-request caching, request coalescing, sharded
+// worker pools, and bounded admission control (see internal/service).
+//
+// Endpoints:
+//
+//	POST /v1/map        one job, synchronous
+//	POST /v1/batch      {"jobs":[...]}; results in job order
+//	POST /v1/jobs       async submit -> {"id":...}
+//	GET  /v1/jobs/{id}  poll / fetch (fetch consumes the result)
+//	GET  /stats         service + cache + engine-pool counters
+//	GET  /healthz       liveness
+//
+// Example:
+//
+//	topomapd -addr :8723 &
+//	curl -s localhost:8723/v1/map -d '{
+//	  "graph":    {"pattern": "mesh2d:8,8"},
+//	  "topology": "torus:8,8",
+//	  "strategy": "topolb"
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS, capped at 16)")
+	workers := flag.Int("workers", 1, "workers per shard")
+	queue := flag.Int("queue", 256, "admission bound: max queued+running computations (429 beyond)")
+	maxTasks := flag.Int("max-tasks", 16384, "largest accepted task count per job")
+	maxBatch := flag.Int("max-batch", 256, "largest accepted batch")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache entry bound (-1 disables)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache byte bound")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute timeout")
+	flag.Parse()
+
+	srv := service.NewServer(service.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		MaxTasks:        *maxTasks,
+		MaxBatch:        *maxBatch,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		RequestTimeout:  *timeout,
+	})
+	defer srv.Close()
+
+	fmt.Printf("topomapd: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "topomapd:", err)
+		os.Exit(1)
+	}
+}

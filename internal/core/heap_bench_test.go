@@ -1,0 +1,150 @@
+package core
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// boxedTaskHeap is the pre-typed-heap implementation (container/heap with
+// `any`-boxed Push/Pop), kept here as the benchmark baseline for the
+// typed taskHeap that replaced it.
+type boxedTaskHeap struct {
+	key  []float64
+	heap []int
+	pos  []int
+}
+
+func (h *boxedTaskHeap) Len() int { return len(h.heap) }
+func (h *boxedTaskHeap) Less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.key[a] > h.key[b] {
+		return true
+	}
+	if h.key[b] > h.key[a] {
+		return false
+	}
+	return a < b
+}
+func (h *boxedTaskHeap) Swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+func (h *boxedTaskHeap) Push(x any) {
+	v := x.(int)
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+}
+func (h *boxedTaskHeap) Pop() any {
+	n := len(h.heap) - 1
+	v := h.heap[n]
+	h.heap = h.heap[:n]
+	h.pos[v] = -1
+	return v
+}
+
+// taskHeapWorkload mirrors TopoCentLB's extraction loop: n tasks, each
+// cycle pops the max and bumps a few surviving keys (neighbor updates).
+const taskHeapTasks = 2048
+
+type taskHeapOp struct {
+	bump []int
+	add  []float64
+}
+
+func taskHeapWorkload(n int) ([]float64, []taskHeapOp) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64() * 100
+	}
+	ops := make([]taskHeapOp, n)
+	for i := range ops {
+		deg := 2 + rng.Intn(4)
+		op := taskHeapOp{bump: make([]int, deg), add: make([]float64, deg)}
+		for j := range op.bump {
+			op.bump[j] = rng.Intn(n)
+			op.add[j] = rng.Float64() * 10
+		}
+		ops[i] = op
+	}
+	return keys, ops
+}
+
+func BenchmarkTaskHeapBoxed(b *testing.B) {
+	keys, ops := taskHeapWorkload(taskHeapTasks)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &boxedTaskHeap{key: append([]float64(nil), keys...), pos: make([]int, taskHeapTasks)}
+		for v := 0; v < taskHeapTasks; v++ {
+			h.pos[v] = v
+			h.heap = append(h.heap, v)
+		}
+		heap.Init(h)
+		for _, op := range ops {
+			heap.Pop(h)
+			for j, u := range op.bump {
+				if h.pos[u] >= 0 {
+					h.key[u] += op.add[j]
+					heap.Fix(h, h.pos[u])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTaskHeapTyped(b *testing.B) {
+	keys, ops := taskHeapWorkload(taskHeapTasks)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &taskHeap{key: append([]float64(nil), keys...), pos: make([]int, taskHeapTasks)}
+		for v := 0; v < taskHeapTasks; v++ {
+			h.pos[v] = v
+			h.heap = append(h.heap, v)
+		}
+		h.init()
+		for _, op := range ops {
+			h.pop()
+			for j, u := range op.bump {
+				if h.pos[u] >= 0 {
+					h.key[u] += op.add[j]
+					h.fix(h.pos[u])
+				}
+			}
+		}
+	}
+}
+
+// TestTaskHeapMatchesBoxed pins the typed heap to the boxed baseline on
+// the benchmark workload: the pop sequence must agree exactly.
+func TestTaskHeapMatchesBoxed(t *testing.T) {
+	keys, ops := taskHeapWorkload(taskHeapTasks)
+	boxed := &boxedTaskHeap{key: append([]float64(nil), keys...), pos: make([]int, taskHeapTasks)}
+	typed := &taskHeap{key: append([]float64(nil), keys...), pos: make([]int, taskHeapTasks)}
+	for v := 0; v < taskHeapTasks; v++ {
+		boxed.pos[v] = v
+		boxed.heap = append(boxed.heap, v)
+		typed.pos[v] = v
+		typed.heap = append(typed.heap, v)
+	}
+	heap.Init(boxed)
+	typed.init()
+	for i, op := range ops {
+		bv := heap.Pop(boxed).(int)
+		tv := typed.pop()
+		if bv != tv {
+			t.Fatalf("pop %d: boxed %d, typed %d", i, bv, tv)
+		}
+		for j, u := range op.bump {
+			if boxed.pos[u] >= 0 {
+				boxed.key[u] += op.add[j]
+				heap.Fix(boxed, boxed.pos[u])
+			}
+			if typed.pos[u] >= 0 {
+				typed.key[u] += op.add[j]
+				typed.fix(typed.pos[u])
+			}
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/parallel"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
@@ -20,15 +18,17 @@ type TopoCentLB struct{}
 // Name implements Strategy.
 func (TopoCentLB) Name() string { return "TopoCentLB" }
 
-// taskHeap is a max-heap over key with index tracking for heap.Fix.
+// taskHeap is a typed max-heap over key with index tracking so key updates
+// can re-sift one entry in place (the old heap.Fix). Elements are task
+// ids; no container/heap, so nothing is boxed through `any` on the
+// per-placement update loop.
 type taskHeap struct {
 	key  []float64 // key per task id
 	heap []int     // heap of task ids
 	pos  []int     // pos[task] = index in heap, -1 once extracted
 }
 
-func (h *taskHeap) Len() int { return len(h.heap) }
-func (h *taskHeap) Less(i, j int) bool {
+func (h *taskHeap) less(i, j int) bool {
 	a, b := h.heap[i], h.heap[j]
 	if h.key[a] > h.key[b] {
 		return true
@@ -38,22 +38,74 @@ func (h *taskHeap) Less(i, j int) bool {
 	}
 	return a < b
 }
-func (h *taskHeap) Swap(i, j int) {
+
+func (h *taskHeap) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 	h.pos[h.heap[i]] = i
 	h.pos[h.heap[j]] = j
 }
-func (h *taskHeap) Push(x any) {
-	v := x.(int)
-	h.pos[v] = len(h.heap)
-	h.heap = append(h.heap, v)
+
+// init heapifies the backing slice in place.
+func (h *taskHeap) init() {
+	n := len(h.heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
-func (h *taskHeap) Pop() any {
+
+// pop removes and returns the max-key task.
+func (h *taskHeap) pop() int {
 	n := len(h.heap) - 1
+	h.swap(0, n)
 	v := h.heap[n]
 	h.heap = h.heap[:n]
 	h.pos[v] = -1
+	if n > 0 {
+		h.siftDown(0)
+	}
 	return v
+}
+
+// fix restores heap order after the key of the task at heap index i
+// changed, like container/heap.Fix.
+func (h *taskHeap) fix(i int) {
+	if !h.siftDown(i) {
+		h.siftUp(i)
+	}
+}
+
+func (h *taskHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether the element at i moved, so fix can decide to
+// try sifting up instead (container/heap's down/up protocol).
+func (h *taskHeap) siftDown(i int) bool {
+	n := len(h.heap)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return moved
+		}
+		h.swap(i, m)
+		i = m
+		moved = true
+	}
 }
 
 // Map implements Strategy.
@@ -105,10 +157,10 @@ func (TopoCentLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) 
 	for i, u := range adj {
 		h.key[u] = w[i]
 	}
-	heap.Init(h)
+	h.init()
 
-	for h.Len() > 0 {
-		tk := heap.Pop(h).(int)
+	for len(h.heap) > 0 {
+		tk := h.pop()
 		// Place tk on the free processor minimizing the first-order cost:
 		// hop-bytes to its already-placed neighbors. The scan is an
 		// index-ordered arg-min over processors — each candidate's cost is
@@ -142,7 +194,7 @@ func (TopoCentLB) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) 
 		for i, u := range adj {
 			if h.pos[u] >= 0 {
 				h.key[u] += w[i]
-				heap.Fix(h, h.pos[u])
+				h.fix(h.pos[u])
 			}
 		}
 	}

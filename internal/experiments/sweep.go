@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sync"
-
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/parallel"
@@ -17,11 +15,6 @@ type SimJob struct {
 	Mapping core.Mapping
 	Cfg     netsim.Config
 }
-
-// enginePool recycles simulation engines across sweep jobs so each worker
-// reuses warm event-queue and network-pool storage instead of growing a
-// fresh arena per replay.
-var enginePool = sync.Pool{New: func() any { return &netsim.Engine{} }}
 
 // RunSims replays every job, fanning the independent simulations across
 // GOMAXPROCS workers, and returns the results in job order.
@@ -38,10 +31,12 @@ func RunSims(jobs []SimJob) ([]trace.Result, error) {
 	}
 	// Grain 1: jobs are few and coarse (each is a whole simulation), so
 	// per-job scheduling costs nothing relative to the work.
+	// Engines come from the process-wide counted pool (netsim.GetEngine),
+	// so sweeps and the mapping service share warm arenas.
 	out := parallel.Map(len(jobs), 1, func(i int) outcome {
-		eng := enginePool.Get().(*netsim.Engine)
+		eng := netsim.GetEngine()
 		res, err := trace.ReplayOn(eng, jobs[i].Prog, jobs[i].Mapping, jobs[i].Cfg)
-		enginePool.Put(eng)
+		netsim.PutEngine(eng)
 		return outcome{res: res, err: err}
 	})
 	results := make([]trace.Result, len(jobs))

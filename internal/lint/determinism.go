@@ -20,6 +20,9 @@ var algorithmPkgs = []string{
 	"internal/baselines",
 	"internal/taskgraph",
 	"internal/topology",
+	// The mapping service caches and coalesces responses by content key,
+	// which is only sound if its responses are bit-for-bit reproducible.
+	"internal/service",
 }
 
 func init() {
@@ -27,7 +30,8 @@ func init() {
 		Name: "determinism",
 		Doc: "flags `range` over a map in algorithm packages (internal/core, " +
 			"internal/netsim, internal/parallel, internal/partition, " +
-			"internal/baselines, internal/taskgraph, internal/topology) " +
+			"internal/baselines, internal/taskgraph, internal/topology, " +
+			"internal/service) " +
 			"unless the loop only " +
 			"collects keys/values that " +
 			"are sorted immediately afterwards; map iteration order would " +

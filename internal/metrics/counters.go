@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// SystemCounters aggregates the process-wide reuse counters that the
+// serving path amortizes across requests: the shared distance-matrix
+// cache and the netsim engine pool. The mapping service exposes it at
+// /stats; cmd/topomap includes it in -json output.
+type SystemCounters struct {
+	DistMatrixCache topology.DistCacheStats `json:"dist_matrix_cache"`
+	EnginePool      EnginePoolCounters      `json:"engine_pool"`
+}
+
+// EnginePoolCounters is netsim.PoolStats with the derived reuse count
+// made explicit, so JSON consumers do not have to compute Gets − News.
+type EnginePoolCounters struct {
+	Gets   int64 `json:"gets"`
+	Puts   int64 `json:"puts"`
+	News   int64 `json:"news"`
+	Reuses int64 `json:"reuses"`
+}
+
+// Counters snapshots every system counter.
+func Counters() SystemCounters {
+	pool := netsim.PoolCounters()
+	return SystemCounters{
+		DistMatrixCache: topology.DistCacheCounters(),
+		EnginePool: EnginePoolCounters{
+			Gets:   pool.Gets,
+			Puts:   pool.Puts,
+			News:   pool.News,
+			Reuses: pool.Reuses(),
+		},
+	}
+}

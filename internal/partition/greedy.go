@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/taskgraph"
@@ -17,14 +16,16 @@ type Greedy struct{}
 // Name implements Partitioner.
 func (Greedy) Name() string { return "greedy" }
 
-// loadHeap is a min-heap of (load, group) pairs.
+// loadHeap is a typed min-heap of (load, group) pairs. It used to satisfy
+// container/heap.Interface; the typed sift methods keep the identical
+// (load, group) order without boxing every element through `any` on the
+// hot assignment loop.
 type loadHeap struct {
 	load  []float64
 	group []int
 }
 
-func (h *loadHeap) Len() int { return len(h.group) }
-func (h *loadHeap) Less(i, j int) bool {
+func (h *loadHeap) less(i, j int) bool {
 	if h.load[i] < h.load[j] {
 		return true
 	}
@@ -33,21 +34,37 @@ func (h *loadHeap) Less(i, j int) bool {
 	}
 	return h.group[i] < h.group[j] // deterministic tie-break
 }
-func (h *loadHeap) Swap(i, j int) {
+
+func (h *loadHeap) swap(i, j int) {
 	h.load[i], h.load[j] = h.load[j], h.load[i]
 	h.group[i], h.group[j] = h.group[j], h.group[i]
 }
-func (h *loadHeap) Push(x any) {
-	p := x.([2]float64)
-	h.load = append(h.load, p[0])
-	h.group = append(h.group, int(p[1]))
+
+// init heapifies the backing slices in place.
+func (h *loadHeap) init() {
+	n := len(h.group)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
-func (h *loadHeap) Pop() any {
-	n := len(h.group) - 1
-	x := [2]float64{h.load[n], float64(h.group[n])}
-	h.load = h.load[:n]
-	h.group = h.group[:n]
-	return x
+
+func (h *loadHeap) siftDown(i int) {
+	n := len(h.group)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
 }
 
 // Partition implements Partitioner.
@@ -82,11 +99,11 @@ func (Greedy) Partition(g *taskgraph.Graph, k int) (*Result, error) {
 		assign[order[i]] = i
 		h.load[i] = g.VertexWeight(order[i])
 	}
-	heap.Init(h)
+	h.init()
 	for _, v := range order[k:] {
 		assign[v] = h.group[0]
 		h.load[0] += g.VertexWeight(v)
-		heap.Fix(h, 0)
+		h.siftDown(0) // the root's load only grew, so it can only move down
 	}
 	return &Result{Assign: assign, K: k}, nil
 }

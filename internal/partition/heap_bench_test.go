@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// boxedLoadHeap is the pre-typed-heap implementation (container/heap
+// with `any`-boxed Push/Pop), kept here as the benchmark baseline for
+// the typed loadHeap that replaced it.
+type boxedLoadHeap struct {
+	load  []float64
+	group []int
+}
+
+func (h *boxedLoadHeap) Len() int { return len(h.group) }
+func (h *boxedLoadHeap) Less(i, j int) bool {
+	if h.load[i] < h.load[j] {
+		return true
+	}
+	if h.load[j] < h.load[i] {
+		return false
+	}
+	return h.group[i] < h.group[j]
+}
+func (h *boxedLoadHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.group[i], h.group[j] = h.group[j], h.group[i]
+}
+func (h *boxedLoadHeap) Push(x any) {
+	p := x.([2]float64)
+	h.load = append(h.load, p[0])
+	h.group = append(h.group, int(p[1]))
+}
+func (h *boxedLoadHeap) Pop() any {
+	n := len(h.group) - 1
+	x := [2]float64{h.load[n], float64(h.group[n])}
+	h.load = h.load[:n]
+	h.group = h.group[:n]
+	return x
+}
+
+// loadHeapWorkload mirrors Greedy.Partition's inner loop: k groups, then
+// n assignments each reading the root, growing its load, and re-sifting.
+const (
+	loadHeapGroups  = 64
+	loadHeapAssigns = 4096
+)
+
+func loadHeapWeights(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() * 100
+	}
+	return w
+}
+
+func BenchmarkLoadHeapBoxed(b *testing.B) {
+	w := loadHeapWeights(loadHeapAssigns)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &boxedLoadHeap{load: make([]float64, loadHeapGroups), group: make([]int, loadHeapGroups)}
+		for g := range h.group {
+			h.group[g] = g
+		}
+		heap.Init(h)
+		for _, x := range w {
+			h.load[0] += x
+			heap.Fix(h, 0)
+		}
+	}
+}
+
+func BenchmarkLoadHeapTyped(b *testing.B) {
+	w := loadHeapWeights(loadHeapAssigns)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &loadHeap{load: make([]float64, loadHeapGroups), group: make([]int, loadHeapGroups)}
+		for g := range h.group {
+			h.group[g] = g
+		}
+		h.init()
+		for _, x := range w {
+			h.load[0] += x
+			h.siftDown(0)
+		}
+	}
+}
+
+// TestLoadHeapMatchesBoxed pins the typed heap to the boxed baseline on
+// the benchmark workload: the root after every assignment must agree.
+func TestLoadHeapMatchesBoxed(t *testing.T) {
+	w := loadHeapWeights(loadHeapAssigns)
+	boxed := &boxedLoadHeap{load: make([]float64, loadHeapGroups), group: make([]int, loadHeapGroups)}
+	typed := &loadHeap{load: make([]float64, loadHeapGroups), group: make([]int, loadHeapGroups)}
+	for g := 0; g < loadHeapGroups; g++ {
+		boxed.group[g] = g
+		typed.group[g] = g
+	}
+	heap.Init(boxed)
+	typed.init()
+	for i, x := range w {
+		if boxed.group[0] != typed.group[0] {
+			t.Fatalf("assignment %d: boxed root %d, typed root %d", i, boxed.group[0], typed.group[0])
+		}
+		boxed.load[0] += x
+		heap.Fix(boxed, 0)
+		typed.load[0] += x
+		typed.siftDown(0)
+	}
+}

@@ -1,0 +1,347 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// post sends raw bytes and returns (status, body, header).
+func post(t *testing.T, ts *httptest.Server, path, payload string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func wantStatus(t *testing.T, got int, want int, body []byte) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("status = %d, want %d (body: %s)", got, want, body)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name    string
+		path    string
+		payload string
+		status  int
+	}{
+		{"truncated json", "/v1/map", `{"topology": "torus:4,4", "graph"`, 400},
+		{"unknown field", "/v1/map", `{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"bogus":1}`, 400},
+		{"trailing garbage", "/v1/map", `{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"}} extra`, 400},
+		{"missing topology", "/v1/map", `{"graph":{"pattern":"mesh2d:4,4"}}`, 400},
+		{"missing graph", "/v1/map", `{"topology":"torus:4,4"}`, 400},
+		{"pattern and inline both set", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4","inline":{"edges":[]}}}`, 400},
+		{"unknown pattern", "/v1/map", `{"topology":"torus:4,4","graph":{"pattern":"klein:4,4"}}`, 400},
+		{"unknown topology", "/v1/map", `{"topology":"moebius:4,4","graph":{"pattern":"mesh2d:4,4"}}`, 400},
+		{"unknown strategy", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"strategy":"psychic"}`, 400},
+		{"task/processor mismatch", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:8,8"}}`, 400},
+		{"negative sim iterations", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"sim":{"iterations":-3}}`, 400},
+		{"bad inline graph", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"inline":{"edges":"nope"}}}`, 400},
+		{"batch empty", "/v1/batch", `{"jobs":[]}`, 400},
+		{"batch not json", "/v1/batch", `[[[`, 400},
+		{"submit malformed", "/v1/jobs", `{"topology":`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := post(t, ts, tc.path, tc.payload)
+			wantStatus(t, status, tc.status, body)
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if eb.Status != tc.status || eb.Error == "" {
+				t.Errorf("error body = %+v, want status %d and a message", eb, tc.status)
+			}
+		})
+	}
+
+	if ce := srv.Snapshot().ClientErrors; ce != int64(len(cases)) {
+		t.Errorf("client_errors = %d, want %d", ce, len(cases))
+	}
+}
+
+// TestOversizedRequests covers both size limits: MaxTasks (graph too big)
+// and MaxBody (request too big) must both yield 413.
+func TestOversizedRequests(t *testing.T) {
+	srv := NewServer(Config{MaxTasks: 100, MaxBody: 512, MaxBatch: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body, _ := post(t, ts, "/v1/map",
+		`{"topology":"torus:16,16","graph":{"pattern":"mesh2d:16,16"}}`)
+	wantStatus(t, status, 413, body) // 256 tasks > MaxTasks 100
+
+	big := `{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"strategy":"topolb` +
+		strings.Repeat(" ", 600) + `"}`
+	status, body, _ = post(t, ts, "/v1/map", big)
+	wantStatus(t, status, 413, body) // body > MaxBody 512
+
+	status, body, _ = post(t, ts, "/v1/batch",
+		`{"jobs":[{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"}},`+
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":2},`+
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":3}]}`)
+	wantStatus(t, status, 413, body) // 3 jobs > MaxBatch 2
+}
+
+// TestQueueFull pins admission control with no workers: QueueDepth
+// distinct jobs fill the semaphore, the next distinct job gets 429 with
+// Retry-After, and cache hits / coalesced joins still get through because
+// they don't consume admission slots.
+func TestQueueFull(t *testing.T) {
+	srv := NewServer(Config{Shards: 1, QueueDepth: 2, noWorkers: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func(seed string) (int, []byte, http.Header) {
+		return post(t, ts, "/v1/jobs",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":`+seed+`}`)
+	}
+	// Two distinct async jobs occupy both admission slots (no worker will
+	// ever drain them).
+	for _, seed := range []string{"1", "2"} {
+		status, body, _ := submit(seed)
+		wantStatus(t, status, 202, body)
+	}
+	for srv.Snapshot().QueueDepth != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A third distinct job must be rejected.
+	status, body, hdr := post(t, ts, "/v1/map",
+		`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":3}`)
+	wantStatus(t, status, 429, body)
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+	if rf := srv.Snapshot().RejectedFull; rf != 1 {
+		t.Errorf("rejected_queue_full = %d, want 1", rf)
+	}
+
+	// A duplicate of an admitted job coalesces instead of being rejected:
+	// it joins the queued flight, then cancels.
+	j := mustNormalize(t, Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"}, Topology: "torus:4,4", Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, status, err := srv.do(ctx, j)
+	if status != 499 || err == nil {
+		t.Fatalf("coalesced wait = (%d, %v), want 499 + context error", status, err)
+	}
+	st := srv.Snapshot()
+	if st.CoalescedJoins != 1 {
+		t.Errorf("coalesced_joins = %d, want 1", st.CoalescedJoins)
+	}
+	if st.QueueDepth != 2 {
+		// The async submitters still hold both slots; the coalesced waiter
+		// must not have released one on cancellation.
+		t.Errorf("queue_depth = %d, want 2", st.QueueDepth)
+	}
+}
+
+// TestCancellationReleasesAdmission pins the abort path: when every
+// waiter of a queued flight cancels, the flight leaves the table at once
+// but keeps its admission slot until the worker pops the aborted entry
+// from the shard queue — at which point admission recovers fully.
+func TestCancellationReleasesAdmission(t *testing.T) {
+	srv := NewServer(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 2, CacheEntries: -1})
+	defer srv.Close()
+
+	// Occupy the single worker so queued flights stay queued.
+	blocker := mustNormalize(t, Job{Graph: GraphSpec{Pattern: "mesh2d:24,24"},
+		Topology: "torus:24,24", Strategy: "topolb3", Seed: 1})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, status, err := srv.do(context.Background(), blocker); status != 200 {
+			t.Errorf("blocker = (%d, %v), want 200", status, err)
+		}
+	}()
+	for srv.Snapshot().JobsRunning == 0 {
+		runtime.Gosched()
+	}
+
+	// j1 queues behind the blocker, then every waiter cancels.
+	j1 := mustNormalize(t, Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"}, Topology: "torus:4,4", Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, status, err := srv.do(ctx, j1)
+		if status != 499 || err == nil {
+			t.Errorf("cancelled do = (%d, %v), want 499 + context error", status, err)
+		}
+	}()
+	for srv.Snapshot().QueueDepth != 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	<-done
+
+	// Aborting removes the flight from the table immediately (the
+	// blocker's own entry is still there while it runs), so an equal job
+	// would start a fresh flight...
+	srv.table.mu.Lock()
+	_, stillTabled := srv.table.flights[j1.key]
+	srv.table.mu.Unlock()
+	if stillTabled {
+		t.Fatal("aborted flight still in the table")
+	}
+	// ...but the aborted entry still occupies its queue position and
+	// admission slot, so a distinct job is rejected while the blocker runs.
+	j2 := mustNormalize(t, Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"}, Topology: "torus:4,4", Seed: 2})
+	if _, status, _ := srv.do(context.Background(), j2); status != 429 {
+		t.Fatalf("distinct job while zombie holds the slot: status %d, want 429", status)
+	}
+
+	// Once the worker finishes the blocker it pops the aborted entry,
+	// skips it, and returns both slots; admission recovers.
+	<-blockerDone
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().QueueDepth != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission slots never reclaimed: queue_depth=%d", srv.Snapshot().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, status, err := srv.do(context.Background(), j2); status != 200 {
+		t.Fatalf("job after recovery = (%d, %v), want 200", status, err)
+	}
+	if cn := srv.Snapshot().Cancelled; cn != 1 {
+		t.Errorf("cancelled = %d, want 1", cn)
+	}
+}
+
+// TestFetchUnknownAndConsume pins async fetch semantics: unknown ids are
+// 404, and fetching a finished job consumes it.
+func TestFetchUnknownAndConsume(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	status, body, _ := post(t, ts, "/v1/jobs", `{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"}}`)
+	wantStatus(t, status, 202, body)
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	var fr fetchResponse
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("fetch: status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.Status != statusPending {
+			break
+		}
+	}
+	if fr.Status != statusDone || len(fr.Result) == 0 {
+		t.Fatalf("fetch = %+v, want done with a result", fr)
+	}
+	// Second fetch: consumed.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("re-fetch consumed job: status %d, want 404", resp.StatusCode)
+	}
+	if ap := srv.Snapshot().AsyncPending; ap != 0 {
+		t.Errorf("async_pending = %d after consuming fetch, want 0", ap)
+	}
+}
+
+// TestAsyncStoreFull pins the MaxAsync bound.
+func TestAsyncStoreFull(t *testing.T) {
+	srv := NewServer(Config{MaxAsync: 2, noWorkers: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for seed := 1; seed <= 2; seed++ {
+		status, body, _ := post(t, ts, "/v1/jobs",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":`+string(rune('0'+seed))+`}`)
+		wantStatus(t, status, 202, body)
+	}
+	status, body, hdr := post(t, ts, "/v1/jobs",
+		`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"seed":9}`)
+	wantStatus(t, status, 429, body)
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+}
+
+// TestStrategyFailure maps a strategy error to 422.
+func TestStrategyFailure(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// hybrid:8x8 needs a coordinate grid divisible into 8x8 blocks;
+	// torus:4,4 cannot host it, so Map fails at compute time.
+	status, body, _ := post(t, ts, "/v1/map",
+		`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"strategy":"hybrid:8x8"}`)
+	wantStatus(t, status, 422, body)
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("want JSON error body, got %s", body)
+	}
+}
+
+func mustNormalize(t *testing.T, spec Job) *job {
+	t.Helper()
+	j, err := normalize(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/map        one job, synchronous; body = Job JSON
+//	POST /v1/batch      {"jobs":[Job,...]}; per-job results in job order
+//	POST /v1/jobs       async submit; returns {"id":...}
+//	GET  /v1/jobs/{id}  poll; fetching a finished job consumes it
+//	GET  /stats         counters (service, caches, engine pool)
+//	GET  /healthz       liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleFetch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeBody(w, []byte(`{"ok":true}`))
+	})
+	return mux
+}
+
+// writeJSON encodes v to w. A failed write means the client went away
+// mid-response; there is no recovery, so failures are only counted.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.stats.writeFailures.Add(1)
+	}
+}
+
+// errorBody is the JSON error envelope. Deterministic: no timestamps or
+// request ids, so identical failures produce identical bodies.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 400 && status < 500 {
+		s.stats.clientErrors.Add(1)
+	}
+	if status == 429 {
+		// Admission rejections are transient: the queue drains as fast as
+		// the workers map, so a short client backoff is enough.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status}); encErr != nil {
+		s.stats.writeFailures.Add(1)
+	}
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(body); err != nil {
+		s.stats.writeFailures.Add(1)
+	}
+}
+
+// handleMap serves POST /v1/map.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.stats.syncRequests.Add(1)
+	data, release, err := s.readBody(r)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	var spec Job
+	err = decodeStrict(data, &spec)
+	release()
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	j, err := normalize(spec, s.cfg.MaxTasks)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, status, err := s.do(ctx, j)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	w.Header().Set("X-Topomapd-Key", j.key)
+	s.writeBody(w, body)
+}
+
+// batchRequest / batchEntry are the wire forms of POST /v1/batch. Every
+// job gets an entry at its own index: either its result body (the same
+// bytes a sync request returns) or its error.
+type batchRequest struct {
+	Jobs []Job `json:"jobs"`
+}
+
+type batchEntry struct {
+	Status int             `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchEntry `json:"results"`
+}
+
+// handleBatch serves POST /v1/batch: jobs fan out across the shards
+// concurrently and the response lists per-job outcomes in request order
+// (the experiments.RunSims contract — results indexed by job, never by
+// completion time).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.batchRequests.Add(1)
+	data, release, err := s.readBody(r)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	var req batchRequest
+	err = decodeStrict(data, &req)
+	release()
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, 400, badJob(400, "batch: no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatch {
+		s.writeError(w, 413, badJob(413, "batch: %d jobs, limit is %d", len(req.Jobs), s.cfg.MaxBatch))
+		return
+	}
+	s.stats.batchJobs.Add(int64(len(req.Jobs)))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	entries := make([]batchEntry, len(req.Jobs))
+	var wg sync.WaitGroup
+	for i := range req.Jobs {
+		j, err := normalize(req.Jobs[i], s.cfg.MaxTasks)
+		if err != nil {
+			entries[i] = batchEntry{Status: errStatus(err), Error: err.Error()}
+			s.stats.clientErrors.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, j *job) {
+			defer wg.Done()
+			body, status, err := s.do(ctx, j)
+			if err != nil {
+				entries[i] = batchEntry{Status: status, Error: err.Error()}
+				return
+			}
+			entries[i] = batchEntry{Status: 200, Result: body}
+		}(i, j)
+	}
+	wg.Wait()
+	s.writeJSON(w, batchResponse{Results: entries})
+}
+
+// submitResponse is the wire form of POST /v1/jobs.
+type submitResponse struct {
+	ID string `json:"id"`
+}
+
+// handleSubmit serves POST /v1/jobs: validate, assign an id, and compute
+// in the background under the server's lifetime (not the request's).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	data, release, err := s.readBody(r)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	var spec Job
+	err = decodeStrict(data, &spec)
+	release()
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	j, err := normalize(spec, s.cfg.MaxTasks)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	aj, err := s.async.add(j.key)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	s.stats.asyncSubmitted.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		body, status, err := s.do(ctx, j)
+		s.async.complete(aj, body, status, err)
+	}()
+	w.Header().Set("X-Topomapd-Key", j.key)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if err := json.NewEncoder(w).Encode(submitResponse{ID: aj.id}); err != nil {
+		s.stats.writeFailures.Add(1)
+	}
+}
+
+// Async job states as reported by GET /v1/jobs/{id}.
+const (
+	statusPending = "pending"
+	statusDone    = "done"
+	statusError   = "error"
+)
+
+// fetchResponse is the wire form of GET /v1/jobs/{id}. Result carries the
+// job's body verbatim when Status is "done".
+type fetchResponse struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"` // "pending" | "done" | "error"
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// handleFetch serves GET /v1/jobs/{id}. Fetching a finished job removes
+// it from the store (fetch-once), which is what keeps async memory
+// bounded by unfetched work.
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	aj, ok := s.async.fetch(id)
+	if !ok {
+		s.writeError(w, 404, badJob(404, "job %q not found (finished jobs are consumed by the first fetch)", id))
+		return
+	}
+	resp := fetchResponse{ID: aj.id, Status: statusPending}
+	if aj.done {
+		if aj.err != nil {
+			resp.Status = statusError
+			resp.Error = aj.err.Error()
+		} else {
+			resp.Status = statusDone
+			resp.Result = aj.body
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.Snapshot())
+}

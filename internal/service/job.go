@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Job is the wire form of one mapping request: a task graph, a topology,
+// a strategy, and optional evaluation passes. The response body is a pure
+// function of the normalized Job — the determinism contract that makes
+// cross-request caching and coalescing sound.
+type Job struct {
+	// Graph selects the task graph: a built-in pattern spec or an inline
+	// graph in the taskgraph JSON format.
+	Graph GraphSpec `json:"graph"`
+	// Topology is a spec like "torus:16,16" (see internal/cliutil).
+	Topology string `json:"topology"`
+	// Strategy is a name like "topolb" (see internal/cliutil). Default
+	// "topolb".
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives randomized strategies. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Refine applies RefineTopoLB on top of the strategy's mapping.
+	Refine bool `json:"refine,omitempty"`
+	// Metrics includes the full quality report (dilation, cardinality,
+	// routed link loads) in the response.
+	Metrics bool `json:"metrics,omitempty"`
+	// Sim runs a discrete-event simulation of the mapped program and
+	// reports completion time and network statistics.
+	Sim *SimSpec `json:"sim,omitempty"`
+}
+
+// GraphSpec names a task graph. Exactly one of Pattern or Inline must be
+// set.
+type GraphSpec struct {
+	// Pattern is a generator spec like "mesh2d:16,16" (see
+	// internal/cliutil).
+	Pattern string `json:"pattern,omitempty"`
+	// MsgBytes is the per-edge byte count for pattern generators.
+	// Default 1e5.
+	MsgBytes float64 `json:"msg_bytes,omitempty"`
+	// Seed drives randomized pattern generators. Defaults to the job
+	// seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Inline is a graph in the taskgraph JSON format ({"name": ...,
+	// "vertexWeights": [...], "edges": [[a,b],...], "edgeWeights":
+	// [...]}).
+	Inline json.RawMessage `json:"inline,omitempty"`
+}
+
+// SimSpec configures the optional per-job netsim evaluation pass.
+type SimSpec struct {
+	// Iterations is the number of program iterations to replay. Default 1.
+	Iterations int `json:"iterations,omitempty"`
+	// ComputeTime is per-task seconds of computation per iteration.
+	ComputeTime float64 `json:"compute_time,omitempty"`
+	// LinkBandwidth is bytes/second per link. Default 1e9.
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
+	// LinkLatency is seconds per hop. Default 1e-6.
+	LinkLatency float64 `json:"link_latency,omitempty"`
+	// PacketSize splits messages into packets (0 = whole messages).
+	PacketSize int `json:"packet_size,omitempty"`
+	// Adaptive enables adaptive minimal routing.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// BufferPackets enables credit-based flow control with that many
+	// downstream buffers per (link, VC).
+	BufferPackets int `json:"buffer_packets,omitempty"`
+	// CollectLatencies records per-message latencies so the stats carry
+	// P50/P95/P99.
+	CollectLatencies bool `json:"collect_latencies,omitempty"`
+}
+
+// JobResult is the response body for one completed job. Field order is
+// the wire order; the body is cached and must be identical to what a
+// direct library call would produce.
+type JobResult struct {
+	Strategy    string          `json:"strategy"`
+	Topology    string          `json:"topology"`
+	Graph       string          `json:"graph"`
+	Tasks       int             `json:"tasks"`
+	Mapping     []int           `json:"mapping"`
+	HopBytes    float64         `json:"hop_bytes"`
+	HopsPerByte float64         `json:"hops_per_byte"`
+	Report      *metrics.Report `json:"report,omitempty"`
+	Sim         *SimResult      `json:"sim,omitempty"`
+}
+
+// SimResult carries the netsim evaluation outputs.
+type SimResult struct {
+	CompletionTime float64      `json:"completion_time"`
+	Stats          netsim.Stats `json:"stats"`
+}
+
+// job is a normalized, validated Job ready to compute: parsed inputs plus
+// the content key that identifies its result.
+type job struct {
+	spec  Job
+	graph *taskgraph.Graph
+	topo  topology.Topology
+	strat core.Strategy
+	key   string
+}
+
+// jobError is a client-side job defect carrying the HTTP status the
+// handlers should report.
+type jobError struct {
+	status int
+	msg    string
+}
+
+func (e *jobError) Error() string { return e.msg }
+
+func badJob(status int, format string, args ...any) *jobError {
+	return &jobError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// normalize validates spec, applies defaults, parses the graph, topology,
+// and strategy, and derives the content key. maxTasks bounds the task
+// count (0 = unbounded).
+func normalize(spec Job, maxTasks int) (*job, error) {
+	spec.Topology = strings.ToLower(strings.TrimSpace(spec.Topology))
+	spec.Strategy = strings.ToLower(strings.TrimSpace(spec.Strategy))
+	spec.Graph.Pattern = strings.ToLower(strings.TrimSpace(spec.Graph.Pattern))
+	if spec.Topology == "" {
+		return nil, badJob(400, "job: topology is required")
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = "topolb"
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if (spec.Graph.Pattern == "") == (len(spec.Graph.Inline) == 0) {
+		return nil, badJob(400, "job: exactly one of graph.pattern or graph.inline is required")
+	}
+	if spec.Graph.Pattern != "" {
+		//lint:ignore floatcmp literal 0 is the JSON unset sentinel for msg_bytes, replaced by the default
+		if spec.Graph.MsgBytes == 0 {
+			spec.Graph.MsgBytes = 1e5
+		}
+		if spec.Graph.Seed == 0 {
+			spec.Graph.Seed = spec.Seed
+		}
+	} else {
+		spec.Graph.MsgBytes = 0
+		spec.Graph.Seed = 0
+	}
+	if spec.Sim != nil {
+		sim := *spec.Sim // normalized copy; never alias caller memory
+		if sim.Iterations == 0 {
+			sim.Iterations = 1
+		}
+		if sim.Iterations < 0 {
+			return nil, badJob(400, "job: sim.iterations must be positive")
+		}
+		//lint:ignore floatcmp literal 0 is the JSON unset sentinel for link_bandwidth, replaced by the default
+		if sim.LinkBandwidth == 0 {
+			sim.LinkBandwidth = 1e9
+		}
+		//lint:ignore floatcmp literal 0 is the JSON unset sentinel for link_latency, replaced by the default
+		if sim.LinkLatency == 0 {
+			sim.LinkLatency = 1e-6
+		}
+		spec.Sim = &sim
+	}
+
+	j := &job{spec: spec}
+	var err error
+	if spec.Sim != nil {
+		// The simulator needs per-link routes.
+		j.topo, err = cliutil.ParseTopology(spec.Topology)
+	} else {
+		j.topo, err = cliutil.ParseAnyTopology(spec.Topology)
+	}
+	if err != nil {
+		return nil, badJob(400, "job: %v", err)
+	}
+	j.strat, err = cliutil.ParseStrategy(spec.Strategy, spec.Seed)
+	if err != nil {
+		return nil, badJob(400, "job: %v", err)
+	}
+	if spec.Refine {
+		j.strat = core.RefineTopoLB{Base: j.strat}
+	}
+
+	var graphBytes []byte
+	if spec.Graph.Pattern != "" {
+		j.graph, err = cliutil.ParsePattern(spec.Graph.Pattern, spec.Graph.MsgBytes, spec.Graph.Seed)
+		if err != nil {
+			return nil, badJob(400, "job: %v", err)
+		}
+	} else {
+		j.graph, err = taskgraph.ReadJSON(bytes.NewReader(spec.Graph.Inline))
+		if err != nil {
+			return nil, badJob(400, "job: inline graph: %v", err)
+		}
+		// Canonicalize the inline graph for hashing: WriteJSON emits
+		// vertices and edges in a fixed order regardless of the order the
+		// client listed them.
+		var buf bytes.Buffer
+		if err := j.graph.WriteJSON(&buf); err != nil {
+			return nil, badJob(500, "job: canonicalize inline graph: %v", err)
+		}
+		graphBytes = buf.Bytes()
+	}
+	if maxTasks > 0 && j.graph.NumVertices() > maxTasks {
+		return nil, badJob(413, "job: graph has %d tasks, limit is %d", j.graph.NumVertices(), maxTasks)
+	}
+	if j.graph.NumVertices() != j.topo.Nodes() {
+		return nil, badJob(400, "job: graph has %d tasks but topology has %d processors (counts must match)",
+			j.graph.NumVertices(), j.topo.Nodes())
+	}
+	j.key = contentKey(&spec, graphBytes)
+	return j, nil
+}
+
+// contentKey hashes everything the response body depends on. Two jobs
+// with equal keys produce byte-identical bodies, so the key is safe to
+// use for the result cache, in-flight coalescing, and shard routing.
+func contentKey(spec *Job, inlineGraph []byte) string {
+	h := sha256.New()
+	hashf(h, "v1\x00%s\x00%s\x00%d\x00%t\x00%t\x00",
+		spec.Topology, spec.Strategy, spec.Seed, spec.Refine, spec.Metrics)
+	if spec.Graph.Pattern != "" {
+		hashf(h, "pattern\x00%s\x00%g\x00%d\x00", spec.Graph.Pattern, spec.Graph.MsgBytes, spec.Graph.Seed)
+	} else {
+		hashf(h, "inline\x00%d\x00%s", len(inlineGraph), inlineGraph)
+	}
+	if s := spec.Sim; s != nil {
+		hashf(h, "sim\x00%d\x00%g\x00%g\x00%g\x00%d\x00%t\x00%d\x00%t\x00",
+			s.Iterations, s.ComputeTime, s.LinkBandwidth, s.LinkLatency,
+			s.PacketSize, s.Adaptive, s.BufferPackets, s.CollectLatencies)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashf formats into a hash.
+func hashf(h io.Writer, format string, args ...any) {
+	//lint:ignore errcheck hash.Hash.Write is documented to never return an error
+	fmt.Fprintf(h, format, args...)
+}
+
+// Compute runs the job with direct library calls and returns the result.
+// Everything the server returns flows through here exactly once per
+// distinct content key; the tests compare its output against independent
+// library calls to pin the service to the library.
+func (j *job) compute() (*JobResult, error) {
+	m, err := j.strat.Map(j.graph, j.topo)
+	if err != nil {
+		return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
+	}
+	res := &JobResult{
+		Strategy: j.strat.Name(),
+		Topology: j.topo.Name(),
+		Graph:    j.graph.Name(),
+		Tasks:    j.graph.NumVertices(),
+		Mapping:  m,
+	}
+	res.HopBytes = core.HopBytes(j.graph, j.topo, m)
+	if total := j.graph.TotalComm(); total > 0 {
+		res.HopsPerByte = res.HopBytes / total
+	}
+	if j.spec.Metrics {
+		rep, err := metrics.Evaluate(j.graph, j.topo, m)
+		if err != nil {
+			return nil, badJob(422, "job: metrics: %v", err)
+		}
+		res.Report = rep
+	}
+	if s := j.spec.Sim; s != nil {
+		prog, err := trace.FromTaskGraph(j.graph, s.Iterations, s.ComputeTime)
+		if err != nil {
+			return nil, badJob(422, "job: sim: %v", err)
+		}
+		cfg := netsim.Config{
+			Topology:         j.topo.(topology.Router),
+			LinkBandwidth:    s.LinkBandwidth,
+			LinkLatency:      s.LinkLatency,
+			PacketSize:       s.PacketSize,
+			Adaptive:         s.Adaptive,
+			BufferPackets:    s.BufferPackets,
+			CollectLatencies: s.CollectLatencies,
+		}
+		eng := netsim.GetEngine()
+		rr, err := trace.ReplayOn(eng, prog, m, cfg)
+		netsim.PutEngine(eng)
+		if err != nil {
+			return nil, badJob(422, "job: sim: %v", err)
+		}
+		res.Sim = &SimResult{CompletionTime: rr.CompletionTime, Stats: rr.Net}
+	}
+	return res, nil
+}
+
+// encodeBuffers pools the scratch buffers result encoding marshals into,
+// so the compute path's response encoding does not grow a fresh buffer
+// per job.
+var encodeBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeResult marshals res to the exact bytes json.Marshal would
+// produce. The returned slice is freshly allocated at the final size
+// (it outlives the pooled scratch buffer inside the result cache).
+func encodeResult(res *JobResult) ([]byte, error) {
+	buf := encodeBuffers.Get().(*bytes.Buffer)
+	defer encodeBuffers.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(res); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	b = b[:len(b)-1] // drop the Encoder's trailing newline; body == json.Marshal(res)
+	return append([]byte(nil), b...), nil
+}

@@ -1,0 +1,443 @@
+// Package service is topomapd's engine: a long-running mapping service
+// that turns the library's one-shot strategy calls into a high-throughput
+// request path. The expensive parts of a mapping request — all-pairs
+// distance tables, netsim engine arenas — are process-wide state worth
+// amortizing, so the service layers four reuse mechanisms over the same
+// deterministic kernels:
+//
+//   - a bounded LRU cache of marshaled response bodies keyed by a content
+//     hash of (graph, topology, strategy, seed, options); repeated jobs
+//     are served without recomputing or re-marshaling anything
+//   - singleflight coalescing: identical jobs in flight at the same time
+//     share one computation
+//   - the shared topology.DistanceMatrix cache and pooled netsim engines
+//     (reused via Engine.Reset), both carrying hit/reuse counters
+//   - pooled request/response buffers on the HTTP path
+//
+// Admission control bounds memory: at most QueueDepth distinct
+// computations may be queued or running; beyond that, requests are
+// rejected with 429 and a Retry-After header instead of growing queues
+// without limit. A computation's slot is released by the worker that pops
+// it from its shard queue — even when every waiter cancelled first — so
+// queue occupancy never exceeds the slot count and an admitted enqueue
+// never blocks. Jobs are routed to a worker shard by content hash, so
+// equal jobs meet on the same shard.
+//
+// Determinism contract: a response body is exactly
+// json.Marshal(result-of-direct-library-calls) for the normalized job —
+// independent of GOMAXPROCS, concurrency, shard count, and whether the
+// body came from the cache, a coalesced flight, or a fresh computation.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config sizes the server. The zero value gets sensible defaults from
+// NewServer.
+type Config struct {
+	// Shards is the number of worker shards. Default GOMAXPROCS, capped
+	// at 16.
+	Shards int
+	// WorkersPerShard is the number of workers draining each shard.
+	// Default 1.
+	WorkersPerShard int
+	// QueueDepth bounds distinct computations admitted (queued+running)
+	// across all shards; beyond it requests get 429. Default 256.
+	QueueDepth int
+	// MaxTasks bounds the task count of one job. Default 16384.
+	MaxTasks int
+	// MaxBatch bounds jobs per batch request. Default 256.
+	MaxBatch int
+	// MaxBody bounds request body bytes. Default 8 MiB.
+	MaxBody int64
+	// MaxAsync bounds outstanding async jobs (pending + unfetched).
+	// Default 1024.
+	MaxAsync int
+	// CacheEntries / CacheBytes bound the result cache. Defaults 1024
+	// entries / 64 MiB. CacheEntries < 0 disables the cache.
+	CacheEntries int
+	CacheBytes   int64
+	// RequestTimeout bounds one sync or batch request's wait; async jobs
+	// use it per job. Default 60s.
+	RequestTimeout time.Duration
+
+	// noWorkers leaves the shard queues undrained. Only settable from
+	// this package: tests use it to pin queue-full and cancellation
+	// behavior without racing the workers.
+	noWorkers bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+		if out.Shards > 16 {
+			out.Shards = 16
+		}
+	}
+	if out.WorkersPerShard <= 0 {
+		out.WorkersPerShard = 1
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 256
+	}
+	if out.MaxTasks == 0 {
+		out.MaxTasks = 16384
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.MaxBody <= 0 {
+		out.MaxBody = 8 << 20
+	}
+	if out.MaxAsync <= 0 {
+		out.MaxAsync = 1024
+	}
+	if out.CacheEntries == 0 {
+		out.CacheEntries = 1024
+	}
+	if out.CacheBytes <= 0 {
+		out.CacheBytes = 64 << 20
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 60 * time.Second
+	}
+	return out
+}
+
+// Server is the mapping service. Create with NewServer, expose via
+// Handler, stop with Close.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	table  *flightTable
+	shards []chan *flight
+	admit  chan struct{} // admission semaphore: queued+running computations
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	async asyncStore
+
+	stats serverStats
+}
+
+// serverStats are monotonically increasing request-path counters.
+type serverStats struct {
+	syncRequests   atomic.Int64
+	batchRequests  atomic.Int64
+	batchJobs      atomic.Int64
+	asyncSubmitted atomic.Int64
+	jobsComputed   atomic.Int64
+	rejectedFull   atomic.Int64
+	cancelled      atomic.Int64
+	clientErrors   atomic.Int64
+	writeFailures  atomic.Int64
+	jobsRunning    atomic.Int64 // gauge: claimed, not yet finished
+}
+
+// NewServer builds a running server (workers started) with cfg defaults
+// applied.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		table:  newFlightTable(),
+		shards: make([]chan *flight, cfg.Shards),
+		admit:  make(chan struct{}, cfg.QueueDepth),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.async.init(cfg.MaxAsync)
+	for i := range s.shards {
+		// Each shard's queue can hold every admitted flight, so an
+		// admitted flight always enqueues without blocking even when all
+		// hash to one shard.
+		s.shards[i] = make(chan *flight, cfg.QueueDepth)
+		if cfg.noWorkers {
+			continue
+		}
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(s.shards[i])
+		}
+	}
+	return s
+}
+
+// Close stops the workers and fails new requests with 503. In-progress
+// computations finish first.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+func (s *Server) worker(queue <-chan *flight) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case f := <-queue:
+			if !s.table.claim(f) {
+				// Aborted while queued: the entry kept its admission slot so
+				// that queue occupancy never exceeds the slot count (an
+				// admitted enqueue can never block). Release it now that the
+				// entry left the queue.
+				<-s.admit
+				continue
+			}
+			s.stats.jobsRunning.Add(1)
+			s.run(f)
+			s.stats.jobsRunning.Add(-1)
+			<-s.admit
+		}
+	}
+}
+
+// run computes one claimed flight and publishes its result.
+func (s *Server) run(f *flight) {
+	res, err := f.job.compute()
+	if err != nil {
+		s.table.finish(f, nil, errStatus(err), err)
+		return
+	}
+	body, err := encodeResult(res)
+	if err != nil {
+		s.table.finish(f, nil, 500, fmt.Errorf("encode result: %w", err))
+		return
+	}
+	s.stats.jobsComputed.Add(1)
+	s.cache.put(f.key, body)
+	s.table.finish(f, body, 200, nil)
+}
+
+// shardOf routes a content key to a shard. The key is a hex SHA-256, so
+// its first bytes are uniformly distributed.
+func (s *Server) shardOf(key string) chan *flight {
+	v := 0
+	for i := 0; i < 4 && i < len(key); i++ {
+		v = v<<8 | int(key[i])
+	}
+	return s.shards[v%len(s.shards)]
+}
+
+// errQueueFull is the admission-control rejection; handlers translate it
+// to 429 with Retry-After.
+var errQueueFull = badJob(429, "job: queue full, retry later")
+
+// do resolves one normalized job to its response body: result cache,
+// then coalescing onto an in-flight computation, then admission +
+// enqueue. Blocks until the body is ready or ctx is done.
+func (s *Server) do(ctx context.Context, j *job) ([]byte, int, error) {
+	if body := s.cache.get(j.key); body != nil {
+		return body, 200, nil
+	}
+	f, created := s.table.join(j)
+	if created {
+		select {
+		case s.admit <- struct{}{}:
+			s.shardOf(j.key) <- f
+		default:
+			s.stats.rejectedFull.Add(1)
+			s.table.abandon(f, 429, errQueueFull)
+			return nil, 429, errQueueFull
+		}
+	}
+	select {
+	case <-f.done:
+		return f.body, f.status, f.err
+	case <-ctx.Done():
+		s.table.leave(f)
+		s.stats.cancelled.Add(1)
+		return nil, 499, ctx.Err()
+	case <-s.baseCtx.Done():
+		s.table.leave(f)
+		return nil, 503, badJob(503, "server shutting down")
+	}
+}
+
+// errStatus extracts the HTTP status from a jobError (500 otherwise).
+func errStatus(err error) int {
+	var je *jobError
+	if errors.As(err, &je) {
+		return je.status
+	}
+	return 500
+}
+
+// asyncStore tracks submitted async jobs by id. Bounded: submissions
+// beyond maxJobs outstanding are rejected until results are fetched.
+type asyncStore struct {
+	mu      sync.Mutex
+	jobs    map[string]*asyncJob
+	maxJobs int
+	seq     int64
+}
+
+type asyncJob struct {
+	id     string
+	key    string
+	done   bool
+	body   []byte
+	status int
+	err    error
+}
+
+func (a *asyncStore) init(maxJobs int) {
+	a.jobs = make(map[string]*asyncJob)
+	a.maxJobs = maxJobs
+}
+
+// add registers a new pending job, or fails when the store is full.
+func (a *asyncStore) add(key string) (*asyncJob, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.jobs) >= a.maxJobs {
+		return nil, badJob(429, "job: async store full, fetch completed jobs first")
+	}
+	a.seq++
+	j := &asyncJob{id: "j" + strconv.FormatInt(a.seq, 10), key: key}
+	a.jobs[j.id] = j
+	return j, nil
+}
+
+// complete publishes a finished job's outcome.
+func (a *asyncStore) complete(j *asyncJob, body []byte, status int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j.body, j.status, j.err = body, status, err
+	j.done = true
+}
+
+// fetch returns a snapshot of the job's state (a copy, since complete may
+// write the live entry concurrently). Fetching a finished job consumes
+// it: the entry is removed so the store stays bounded by unfetched work.
+func (a *asyncStore) fetch(id string) (asyncJob, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[id]
+	if !ok {
+		return asyncJob{}, false
+	}
+	if j.done {
+		delete(a.jobs, id)
+	}
+	return *j, true
+}
+
+func (a *asyncStore) outstanding() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.jobs)
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	SyncRequests   int64 `json:"sync_requests"`
+	BatchRequests  int64 `json:"batch_requests"`
+	BatchJobs      int64 `json:"batch_jobs"`
+	AsyncSubmitted int64 `json:"async_submitted"`
+	AsyncPending   int   `json:"async_pending"`
+	JobsComputed   int64 `json:"jobs_computed"`
+	JobsRunning    int64 `json:"jobs_running"`
+	CoalescedJoins int64 `json:"coalesced_joins"`
+	RejectedFull   int64 `json:"rejected_queue_full"`
+	Cancelled      int64 `json:"cancelled"`
+	ClientErrors   int64 `json:"client_errors"`
+	WriteFailures  int64 `json:"write_failures"`
+
+	ResultCache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Entries   int   `json:"entries"`
+		Bytes     int64 `json:"bytes"`
+	} `json:"result_cache"`
+
+	QueueDepth int `json:"queue_depth"` // admitted computations right now
+	QueueCap   int `json:"queue_cap"`
+	Shards     int `json:"shards"`
+
+	System metrics.SystemCounters `json:"system"`
+}
+
+// Snapshot collects every counter the service exposes.
+func (s *Server) Snapshot() Stats {
+	var st Stats
+	st.SyncRequests = s.stats.syncRequests.Load()
+	st.BatchRequests = s.stats.batchRequests.Load()
+	st.BatchJobs = s.stats.batchJobs.Load()
+	st.AsyncSubmitted = s.stats.asyncSubmitted.Load()
+	st.AsyncPending = s.async.outstanding()
+	st.JobsComputed = s.stats.jobsComputed.Load()
+	st.JobsRunning = s.stats.jobsRunning.Load()
+	st.CoalescedJoins = s.table.joinCount()
+	st.RejectedFull = s.stats.rejectedFull.Load()
+	st.Cancelled = s.stats.cancelled.Load()
+	st.ClientErrors = s.stats.clientErrors.Load()
+	st.WriteFailures = s.stats.writeFailures.Load()
+	hits, misses, evictions, entries, bytes := s.cache.counters()
+	st.ResultCache.Hits = hits
+	st.ResultCache.Misses = misses
+	st.ResultCache.Evictions = evictions
+	st.ResultCache.Entries = entries
+	st.ResultCache.Bytes = bytes
+	st.QueueDepth = len(s.admit)
+	st.QueueCap = cap(s.admit)
+	st.Shards = len(s.shards)
+	st.System = metrics.Counters()
+	return st
+}
+
+// bodyBuffers pools request-body scratch so reading and decoding request
+// JSON does not grow a fresh buffer per request.
+var bodyBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody reads at most s.cfg.MaxBody bytes of r's body into a pooled
+// buffer. Callers must call the returned release func when finished with
+// the bytes.
+func (s *Server) readBody(r *http.Request) ([]byte, func(), error) {
+	buf := bodyBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	release := func() { bodyBuffers.Put(buf) }
+	if _, err := io.Copy(buf, io.LimitReader(r.Body, s.cfg.MaxBody+1)); err != nil {
+		release()
+		return nil, nil, badJob(400, "read body: %v", err)
+	}
+	if int64(buf.Len()) > s.cfg.MaxBody {
+		release()
+		return nil, nil, badJob(413, "request body exceeds %d bytes", s.cfg.MaxBody)
+	}
+	return buf.Bytes(), release, nil
+}
+
+// decodeStrict unmarshals data rejecting unknown fields and trailing
+// garbage, so typos in job specs fail loudly instead of silently mapping
+// a default job.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badJob(400, "decode request: %v", err)
+	}
+	if dec.More() {
+		return badJob(400, "decode request: trailing data after JSON value")
+	}
+	return nil
+}

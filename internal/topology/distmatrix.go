@@ -101,6 +101,57 @@ var distCache struct {
 	idents []Topology // insertion order, for bounded eviction
 }
 
+// DistCacheStats counts distance-matrix cache traffic since process start
+// (or the last ResetDistCacheStats). Hits are lookups served from an
+// already-built matrix, Misses are lookups that had to build one,
+// Bypasses are lookups refused by the size cap, and Evictions counts
+// entries dropped by the insertion-order bound or PurgeDistanceCache.
+type DistCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Bypasses  int64 `json:"bypasses"`
+}
+
+var distCacheStats struct {
+	hits, misses, evictions, bypasses atomic.Int64
+}
+
+// DistCacheCounters returns a snapshot of the cache counters.
+func DistCacheCounters() DistCacheStats {
+	return DistCacheStats{
+		Hits:      distCacheStats.hits.Load(),
+		Misses:    distCacheStats.misses.Load(),
+		Evictions: distCacheStats.evictions.Load(),
+		Bypasses:  distCacheStats.bypasses.Load(),
+	}
+}
+
+// ResetDistCacheStats zeroes the cache counters (benchmark harnesses use
+// this to scope hit rates to one run).
+func ResetDistCacheStats() {
+	distCacheStats.hits.Store(0)
+	distCacheStats.misses.Store(0)
+	distCacheStats.evictions.Store(0)
+	distCacheStats.bypasses.Store(0)
+}
+
+// PurgeDistanceCache drops every cached matrix (counted as evictions) and
+// returns how many keyed entries were dropped. Long-running services call
+// it to bound memory when topologies stop recurring; benchmarks call it
+// to measure the cache-cold path.
+func PurgeDistanceCache() int {
+	distCache.mu.Lock()
+	defer distCache.mu.Unlock()
+	n := len(distCache.keys)
+	distCacheStats.evictions.Add(int64(n))
+	distCache.byKey = nil
+	distCache.keys = nil
+	distCache.ident = nil
+	distCache.idents = nil
+	return n
+}
+
 // CachedDistances returns the lazily built, globally cached distance
 // matrix for t, or nil when t is too large to materialize under the
 // current cap (callers must then fall back to t.Distance). The cache is
@@ -112,12 +163,14 @@ func CachedDistances(t Topology) *DistanceMatrix {
 	n := t.Nodes()
 	cells := int64(n) * int64(n)
 	if cap := distMatrixCap.Load(); cap <= 0 || cells > cap {
+		distCacheStats.bypasses.Add(1)
 		return nil
 	}
 
 	distCache.mu.Lock()
 	if m, ok := distCache.ident[t]; ok {
 		distCache.mu.Unlock()
+		distCacheStats.hits.Add(1)
 		return m
 	}
 	if distCache.byKey == nil {
@@ -138,7 +191,11 @@ func CachedDistances(t Topology) *DistanceMatrix {
 		if len(distCache.keys) > maxCachedMatrices {
 			delete(distCache.byKey, distCache.keys[0])
 			distCache.keys = distCache.keys[1:]
+			distCacheStats.evictions.Add(1)
 		}
+		distCacheStats.misses.Add(1)
+	} else {
+		distCacheStats.hits.Add(1)
 	}
 	distCache.mu.Unlock()
 
@@ -146,6 +203,9 @@ func CachedDistances(t Topology) *DistanceMatrix {
 	e.once.Do(func() { e.m = NewDistanceMatrix(t) })
 
 	distCache.mu.Lock()
+	if distCache.ident == nil { // a concurrent purge dropped the maps
+		distCache.ident = make(map[Topology]*DistanceMatrix)
+	}
 	if _, ok := distCache.ident[t]; !ok {
 		distCache.ident[t] = e.m
 		distCache.idents = append(distCache.idents, t)
