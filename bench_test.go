@@ -413,6 +413,36 @@ func BenchmarkNetsimBuffered(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimWormhole measures the flit-level wormhole mode under
+// hotspot load: one event per flit per hop, worm records pooled, engine
+// reused across runs (zero-alloc once warm).
+func BenchmarkNetsimWormhole(b *testing.B) {
+	eng := &netsim.Engine{}
+	net, err := netsim.NewNetwork(eng, netsim.Config{
+		Topology: topology.MustTorus(8, 8), LinkBandwidth: 1e8,
+		LinkLatency: 1e-7, PacketSize: 1024,
+		Mode: netsim.ModeWormhole, FlitSize: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		eng.Reset()
+		for a := 0; a < 64; a++ {
+			for d := 1; d <= 8; d++ {
+				net.Send(a, (a+d*7)%64, 4096, nil)
+			}
+		}
+		eng.Run()
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 // BenchmarkNetsimSweep measures the parallel experiment sweep runner over
 // the §5.3 scenario (three mappings × three bandwidths).
 func BenchmarkNetsimSweep(b *testing.B) {

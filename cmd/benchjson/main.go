@@ -51,14 +51,17 @@ type Result struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-// Report is the top-level BENCH_mapping.json document.
+// Report is the top-level BENCH_mapping.json document. GOMAXPROCS and
+// NumCPU record the recording machine, so a 1-CPU run (where parallel
+// speedups cannot show) is machine-checkable from the committed file.
 type Report struct {
-	Command   string   `json:"command"`
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Quick     bool     `json:"quick"`
-	Results   []Result `json:"results"`
+	Command    string   `json:"command"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Quick      bool     `json:"quick"`
+	Results    []Result `json:"results"`
 }
 
 // benchCase is one named workload closed over its inputs.
@@ -167,7 +170,7 @@ func main() {
 	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | service")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
-	smoke := flag.Bool("smoke", false, "service suite: tiny grid, write nothing unless -out is set")
+	smoke := flag.Bool("smoke", false, "netsim/service suites: tiny CI subset, write nothing unless -out is set")
 	flag.Parse()
 
 	var results []Result
@@ -175,7 +178,7 @@ func main() {
 	case "mapping":
 		results = runMappingSuite(*quick)
 	case "netsim":
-		results = runNetsimSuite(*quick)
+		results = runNetsimSuite(*quick, *smoke)
 	case "service":
 		// The service suite measures a load grid (QPS, latency percentiles,
 		// cache hit rates), not ns/op micro-benchmarks, so it writes its own
@@ -189,17 +192,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(2)
 	}
+	if *smoke && *out == "" {
+		// Smoke runs are CI health checks: print the optimized rows and
+		// leave the committed BENCH files alone.
+		for _, r := range results {
+			if r.Mode == "optimized" {
+				fmt.Printf("%-24s %12.0f ns/op  %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			}
+		}
+		fmt.Println("smoke ok (no file written; pass -out to record)")
+		return
+	}
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
 	}
 
 	rep := Report{
-		Command:   "go run ./cmd/benchjson -suite " + *suite,
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     *quick,
-		Results:   results,
+		Command:    "go run ./cmd/benchjson -suite " + *suite,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+		Results:    results,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -21,7 +21,11 @@ type netsimCase struct {
 	name      string
 	baseline  func(b *testing.B)
 	optimized func(b *testing.B)
-	events    int64 // engine events dispatched per op (same on both sides)
+	events    int64 // engine events dispatched per op on the optimized side
+	// baseEvents is the baseline side's event count when it differs from
+	// the optimized side (wormhole cases, whose flit events have no legacy
+	// counterpart); 0 means both sides dispatch `events`.
+	baseEvents int64
 }
 
 // engineCase measures raw scheduler throughput: pending self-rescheduling
@@ -146,6 +150,60 @@ func hotspotCase(name string, load int, buffered bool) netsimCase {
 	return c
 }
 
+// wormholeCase measures the flit-level mode against the packet model on
+// the same workload. There is no legacy wormhole, so "baseline" here is
+// the current engine in packet mode — the ratio prices the extra
+// fidelity (one event per flit per hop) rather than an implementation
+// rewrite, and the events_per_sec columns stay honest per side.
+func wormholeCase(name string, load int) netsimCase {
+	to := topology.MustTorus(8, 8)
+	work := hotspotWorkload(load)
+	packetCfg := netsim.Config{
+		Topology: to, LinkBandwidth: 1e8, LinkLatency: 1e-7, PacketSize: 1024,
+	}
+	wormCfg := packetCfg
+	wormCfg.Mode = netsim.ModeWormhole
+	wormCfg.FlitSize = 64
+	c := netsimCase{name: name}
+
+	count := func(cfg netsim.Config) int64 {
+		eng := &netsim.Engine{}
+		net, err := netsim.NewNetwork(eng, cfg)
+		if err != nil {
+			panic(err)
+		}
+		work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+		eng.Run()
+		return eng.Processed()
+	}
+	c.events = count(wormCfg)
+	c.baseEvents = count(packetCfg)
+
+	bench := func(cfg netsim.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := &netsim.Engine{}
+			net, err := netsim.NewNetwork(eng, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := func() {
+				eng.Reset()
+				work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+				eng.Run()
+			}
+			run() // warm pools and queue storage
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		}
+	}
+	c.baseline = bench(packetCfg)
+	c.optimized = bench(wormCfg)
+	return c
+}
+
 func netsimCases(quick bool) []netsimCase {
 	cs := []netsimCase{
 		engineCase("sparse", 64, 100_000),
@@ -153,21 +211,35 @@ func netsimCases(quick bool) []netsimCase {
 		hotspotCase("Hotspot/load=4", 4, false),
 		hotspotCase("Hotspot/load=16", 16, false),
 		hotspotCase("Buffered/load=8", 8, true),
+		wormholeCase("Wormhole/load=4", 4),
 	}
 	if !quick {
 		cs = append(cs,
 			hotspotCase("Hotspot/load=63", 63, false),
 			hotspotCase("Buffered/load=32", 32, true),
+			wormholeCase("Wormhole/load=16", 16),
 		)
 	}
 	return cs
 }
 
+// smokeNetsimCases is the CI smoke subset: one engine case and one
+// wormhole case, just enough to catch a broken bench path.
+func smokeNetsimCases() []netsimCase {
+	return []netsimCase{
+		engineCase("sparse", 64, 10_000),
+		wormholeCase("Wormhole/load=2", 2),
+	}
+}
+
 // runNetsimSuite measures every case in both modes and returns baseline
 // results followed by optimized ones, with speedups and events/sec filled
-// in on the optimized half.
-func runNetsimSuite(quick bool) []Result {
+// in on the optimized half. smoke selects the tiny CI subset.
+func runNetsimSuite(quick, smoke bool) []Result {
 	cs := netsimCases(quick)
+	if smoke {
+		cs = smokeNetsimCases()
+	}
 	measure := func(mode string, run func(c netsimCase) func(b *testing.B)) []Result {
 		var out []Result
 		for _, c := range cs {
@@ -181,8 +253,12 @@ func runNetsimSuite(quick bool) []Result {
 				AllocsPerOp: r.AllocsPerOp(),
 				Iterations:  r.N,
 			}
+			events := c.events
+			if mode == "baseline" && c.baseEvents > 0 {
+				events = c.baseEvents
+			}
 			if res.NsPerOp > 0 {
-				res.EventsPerSec = float64(c.events) / (res.NsPerOp * 1e-9)
+				res.EventsPerSec = float64(events) / (res.NsPerOp * 1e-9)
 			}
 			out = append(out, res)
 		}

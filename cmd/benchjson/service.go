@@ -49,14 +49,16 @@ type ServiceResult struct {
 	WarmSpeedup      float64 `json:"warm_speedup_vs_cold,omitempty"`
 }
 
-// ServiceReport is the top-level BENCH_service.json document.
+// ServiceReport is the top-level BENCH_service.json document. GOMAXPROCS
+// and NumCPU record the recording machine (see Report).
 type ServiceReport struct {
-	Command   string          `json:"command"`
-	GoVersion string          `json:"go_version"`
-	GOARCH    string          `json:"goarch"`
-	NumCPU    int             `json:"num_cpu"`
-	Smoke     bool            `json:"smoke"`
-	Results   []ServiceResult `json:"results"`
+	Command    string          `json:"command"`
+	GoVersion  string          `json:"go_version"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Smoke      bool            `json:"smoke"`
+	Results    []ServiceResult `json:"results"`
 }
 
 // serviceCell is one point of the load grid.
@@ -260,12 +262,13 @@ func runServiceSuite(smoke bool, out string) error {
 		cmd += " -smoke"
 	}
 	rep := ServiceReport{
-		Command:   cmd,
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Smoke:     smoke,
-		Results:   results,
+		Command:    cmd,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Smoke:      smoke,
+		Results:    results,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -32,6 +32,9 @@ func main() {
 	bw := flag.Float64("bw", 2e8, "link bandwidth, bytes/second")
 	hop := flag.Float64("hop", 100e-9, "per-hop latency, seconds")
 	packet := flag.Int("packet", 1024, "packet size in bytes (0 = whole messages)")
+	mode := flag.String("mode", "packet", "contention model: packet | wormhole")
+	flit := flag.Int("flit", 0, "wormhole flit size in bytes (0 = default)")
+	flitBuf := flag.Int("flitbuf", 0, "wormhole per-(link,VC) flit buffer depth (0 = default)")
 	strategies := flag.String("strategy", "topolb,topocentlb,random", "strategies to compare")
 	seed := flag.Int64("seed", 1, "seed for random placement")
 	dump := flag.String("dump", "", "write the generated trace to this gob file and exit")
@@ -69,8 +72,12 @@ func main() {
 		fatalIf(fmt.Errorf("%d tasks but %d processors", prog.NumTasks(), topo.Nodes()))
 	}
 
-	cfg := netsim.Config{Topology: topo, LinkBandwidth: *bw, LinkLatency: *hop, PacketSize: *packet}
-	fmt.Printf("%s, %d tasks, %d iterations, bw %.3g B/s\n", topo.Name(), prog.NumTasks(), prog.Iterations, *bw)
+	simMode, err := netsim.ParseMode(*mode)
+	fatalIf(err)
+	cfg := netsim.Config{Topology: topo, LinkBandwidth: *bw, LinkLatency: *hop, PacketSize: *packet,
+		Mode: simMode, FlitSize: *flit, FlitBuffer: *flitBuf}
+	fmt.Printf("%s, %d tasks, %d iterations, bw %.3g B/s, %s mode\n",
+		topo.Name(), prog.NumTasks(), prog.Iterations, *bw, simMode)
 	fmt.Printf("%-14s  %14s  %14s  %14s  %12s\n", "strategy", "completion(ms)", "avgLat(us)", "maxLat(us)", "maxLinkBusy")
 	strats, err := cliutil.ParseStrategies(*strategies, *seed)
 	fatalIf(err)

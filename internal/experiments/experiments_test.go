@@ -370,6 +370,45 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestExtrasWormholeShape(t *testing.T) {
+	tbl, err := ExtrasWormhole(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iR, iT := col(tbl, "random"), col(tbl, "topolb")
+	packet, worm := tbl.Rows[0], tbl.Rows[1]
+	if packet[0] != 0 || worm[0] != 1 {
+		t.Fatalf("row order changed: %v", tbl.Rows)
+	}
+	// TopoLB beats random under both contention models.
+	if packet[iT] >= packet[iR] {
+		t.Errorf("packet mode: TopoLB %v not below random %v", packet[iT], packet[iR])
+	}
+	if worm[iT] >= worm[iR] {
+		t.Errorf("wormhole mode: TopoLB %v not below random %v", worm[iT], worm[iR])
+	}
+	// The contention models agree where there is no contention: TopoLB's
+	// latency barely moves between packet and wormhole, while random
+	// placement's contended latency diverges far more between models.
+	topoShift := relDiff(worm[iT], packet[iT])
+	randShift := relDiff(worm[iR], packet[iR])
+	if topoShift > 0.05 {
+		t.Errorf("TopoLB latency shifts %.1f%% between contention models, want near-independence", topoShift*100)
+	}
+	if randShift <= topoShift {
+		t.Errorf("contention model changes random placement by %.3f but TopoLB by %.3f; contended flows should diverge more",
+			randShift, topoShift)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
 func TestExtrasBufferedShape(t *testing.T) {
 	tbl, err := ExtrasBuffered(true)
 	if err != nil {

@@ -23,13 +23,14 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 		"extras-scaling":    func() (*Table, error) { return ExtrasScaling(quick) },
 		"extras-modern":     func() (*Table, error) { return ExtrasModern(quick) },
 		"extras-buffered":   func() (*Table, error) { return ExtrasBuffered(quick) },
+		"extras-wormhole":   func() (*Table, error) { return ExtrasWormhole(quick) },
 	}
 }
 
 // ExtrasIDs lists extras identifiers.
 func ExtrasIDs() []string {
 	return []string{"extras-strategies", "extras-hybrid", "extras-routing",
-		"extras-scaling", "extras-modern", "extras-buffered"}
+		"extras-scaling", "extras-modern", "extras-buffered", "extras-wormhole"}
 }
 
 // ExtrasStrategies pits TopoLB against the related-work algorithms of §2
@@ -71,6 +72,60 @@ func ExtrasStrategies(quick bool) (*Table, error) {
 			core.HopsPerByte(g, torus, m),
 			float64(time.Since(start).Microseconds()) / 1e3,
 		})
+	}
+	return t, nil
+}
+
+// ExtrasWormhole re-runs the paper's core mapping comparison under the
+// flit-level wormhole model: how much latency random placement costs
+// versus TopoLB when contention comes from head-of-line blocking worms
+// holding multiple links, not just per-link queueing. The packet rows
+// give the store-and-forward baseline on the same workload.
+func ExtrasWormhole(quick bool) (*Table, error) {
+	iters := 200
+	if quick {
+		iters = 50
+	}
+	g := taskgraph.Mesh2D(8, 8, 4e3)
+	torus := topology.MustTorus(4, 4, 4)
+	prog, err := trace.FromTaskGraph(g, iters, 20e-6)
+	if err != nil {
+		return nil, err
+	}
+	mT, err := (core.TopoLB{}).Map(g, torus)
+	if err != nil {
+		return nil, err
+	}
+	mR, err := (core.Random{Seed: 1}).Map(g, torus)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "extras-wormhole",
+		Title:   "packet vs wormhole contention model: avg message latency (us) at 100 MB/s",
+		Columns: []string{"wormhole", "random", "topolb"},
+		Notes:   "a good mapping is nearly model-independent; random placement's latency depends on the contention model",
+	}
+	for _, mode := range []netsim.Mode{netsim.ModePacket, netsim.ModeWormhole} {
+		row := []float64{0}
+		if mode == netsim.ModeWormhole {
+			row[0] = 1
+		}
+		for _, m := range []core.Mapping{mR, mT} {
+			res, err := trace.Replay(prog, m, netsim.Config{
+				Topology:      torus,
+				LinkBandwidth: 1e8,
+				LinkLatency:   100e-9,
+				PacketSize:    1024,
+				Mode:          mode,
+				FlitSize:      128,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Net.AvgLatency*1e6)
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -331,6 +331,11 @@ func TestConfigErrorTyped(t *testing.T) {
 		{netsim.Config{Topology: to, LinkBandwidth: 1, PacketSize: -1}, "PacketSize"},
 		{netsim.Config{Topology: to, LinkBandwidth: 1, BufferPackets: -2}, "BufferPackets"},
 		{netsim.Config{Topology: to, LinkBandwidth: 1, BufferPackets: 1, Adaptive: true}, "BufferPackets/Adaptive"},
+		{netsim.Config{Topology: to, LinkBandwidth: 1, Mode: 99}, "Mode"},
+		{netsim.Config{Topology: to, LinkBandwidth: 1, FlitSize: -1}, "FlitSize"},
+		{netsim.Config{Topology: to, LinkBandwidth: 1, FlitBuffer: -1}, "FlitBuffer"},
+		{netsim.Config{Topology: to, LinkBandwidth: 1, Mode: netsim.ModeWormhole, Adaptive: true}, "Mode/Adaptive"},
+		{netsim.Config{Topology: to, LinkBandwidth: 1, Mode: netsim.ModeWormhole, BufferPackets: 1}, "Mode/BufferPackets"},
 	}
 	for _, c := range cases {
 		_, err := netsim.NewNetwork(&netsim.Engine{}, c.cfg)

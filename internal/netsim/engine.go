@@ -5,12 +5,18 @@
 // serialized over each link's finite bandwidth; contention appears as
 // queueing delay on busy links.
 //
-// The simulator is message-level store-and-forward with per-link FIFO
+// Two contention models are available (Config.Mode). The default packet
+// model is message-level store-and-forward with per-link FIFO
 // reservation: a packet arriving at a node reserves the next link from the
 // moment it becomes free, so concurrent flows through a link accumulate
 // delay exactly as queued packets would. This captures the phenomenon the
 // paper measures — latency exploding once offered load approaches link
-// capacity — without simulating individual flits.
+// capacity. The wormhole model (ModeWormhole, see wormhole.go) goes below
+// the packet level the way BigNetSim does: packets decompose into flits
+// that pipeline hop by hop, a header acquires one virtual channel per hop
+// and the whole worm stalls — holding every upstream channel it occupies —
+// when the header blocks, reproducing the head-of-line blocking of
+// BlueGene-class wormhole routers.
 //
 // # Performance architecture
 //
@@ -52,13 +58,15 @@ type Engine struct {
 type evKind uint8
 
 const (
-	evFunc      evKind = iota // run fn
-	evSelf                    // deliver a self-send; idx is a message index
-	evHop                     // deterministic-routing packet step; idx is a packet index
-	evAdapt                   // adaptive-routing packet step; idx is a packet index
-	evBufReq                  // buffered injection: request the first hop; idx is a packet index
-	evBufFree                 // buffered: link `link` finished transmitting packet idx
-	evBufArrive               // buffered: packet idx lands downstream of link `link`
+	evFunc       evKind = iota // run fn
+	evSelf                     // deliver a self-send; idx is a message index
+	evHop                      // deterministic-routing packet step; idx is a packet index
+	evAdapt                    // adaptive-routing packet step; idx is a packet index
+	evBufReq                   // buffered injection: request the first hop; idx is a packet index
+	evBufFree                  // buffered: link `link` finished transmitting packet idx
+	evBufArrive                // buffered: packet idx lands downstream of link `link`
+	evWormInject               // wormhole injection: header requests the first channel; idx is a worm index
+	evFlitArrive               // wormhole: a flit of worm idx lands downstream of hop `link`
 )
 
 // event is one scheduled occurrence. Typed kinds carry pool indices into
@@ -69,8 +77,8 @@ type event struct {
 	seq  int64
 	fn   func()   // evFunc only
 	net  *Network // owner of idx/link for typed kinds
-	idx  int32    // packet or message pool index (kind-specific)
-	link int32    // link index (evBufFree, evBufArrive)
+	idx  int32    // packet, message, or worm pool index (kind-specific)
+	link int32    // link index (evBufFree, evBufArrive) or hop index (evFlitArrive)
 	kind evKind
 }
 
@@ -188,6 +196,10 @@ func (e *Engine) Run() float64 {
 			ev.net.buf.onFree(ev.link, ev.idx)
 		case evBufArrive:
 			ev.net.buf.onArrive(ev.link, ev.idx)
+		case evWormInject:
+			ev.net.wh.inject(ev.idx)
+		case evFlitArrive:
+			ev.net.wh.onArrive(ev.idx, ev.link)
 		}
 	}
 }

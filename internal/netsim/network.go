@@ -8,6 +8,43 @@ import (
 	"repro/internal/topology"
 )
 
+// Mode selects the network's contention model.
+type Mode uint8
+
+const (
+	// ModePacket is the default store-and-forward packet model: whole
+	// packets reserve links FIFO and queue on busy ones.
+	ModePacket Mode = iota
+	// ModeWormhole is the flit-level cut-through model: packets decompose
+	// into flits that pipeline hop by hop, headers acquire virtual
+	// channels, and blocked worms hold every upstream channel they occupy
+	// (see wormhole.go).
+	ModeWormhole
+)
+
+// String returns the mode's flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModePacket:
+		return "packet"
+	case ModeWormhole:
+		return "wormhole"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode parses a mode name as spelled on CLI flags and in service
+// job specs: "packet" (or "") and "wormhole".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "packet":
+		return ModePacket, nil
+	case "wormhole":
+		return ModeWormhole, nil
+	}
+	return 0, fmt.Errorf("netsim: unknown mode %q (want packet or wormhole)", s)
+}
+
 // Config parameterizes a simulated network.
 type Config struct {
 	// Topology provides nodes, links, and deterministic routes.
@@ -35,6 +72,18 @@ type Config struct {
 	// infinite-queue link-reservation model. Mutually exclusive with
 	// Adaptive.
 	BufferPackets int
+	// Mode selects the contention model: ModePacket (default) or
+	// ModeWormhole. Wormhole mode routes deterministically and is
+	// mutually exclusive with Adaptive and BufferPackets.
+	Mode Mode
+	// FlitSize is the flit payload in bytes for wormhole mode; packets
+	// split into ceil(bytes/FlitSize) equal flits. Zero means the
+	// 64-byte default.
+	FlitSize int
+	// FlitBuffer is the per-(link, virtual channel) flit buffer depth in
+	// wormhole mode; a flit crosses a link only when a downstream slot
+	// is free. Zero means the default of 4.
+	FlitBuffer int
 	// CollectLatencies records every message's latency so Stats can
 	// report percentiles (P50/P95/P99). Costs memory proportional to the
 	// message count; off by default.
@@ -66,6 +115,21 @@ func (c *Config) validate() error {
 	if c.BufferPackets > 0 && c.Adaptive {
 		return &ConfigError{Field: "BufferPackets/Adaptive", Reason: "mutually exclusive"}
 	}
+	if c.Mode > ModeWormhole {
+		return &ConfigError{Field: "Mode", Reason: fmt.Sprintf("unknown mode %d", c.Mode)}
+	}
+	if c.FlitSize < 0 {
+		return &ConfigError{Field: "FlitSize", Reason: fmt.Sprintf("must be non-negative, got %d", c.FlitSize)}
+	}
+	if c.FlitBuffer < 0 {
+		return &ConfigError{Field: "FlitBuffer", Reason: fmt.Sprintf("must be non-negative, got %d", c.FlitBuffer)}
+	}
+	if c.Mode == ModeWormhole && c.Adaptive {
+		return &ConfigError{Field: "Mode/Adaptive", Reason: "mutually exclusive (wormhole routes deterministically)"}
+	}
+	if c.Mode == ModeWormhole && c.BufferPackets > 0 {
+		return &ConfigError{Field: "Mode/BufferPackets", Reason: "mutually exclusive (wormhole has its own flit buffers)"}
+	}
 	return nil
 }
 
@@ -84,10 +148,12 @@ type packet struct {
 
 // message is one in-flight message, pooled on the Network.
 type message struct {
-	path      []int // deterministic route; storage reused across messages
-	bytes     float64
+	path      []int   // deterministic route; storage reused across messages
+	links     []int32 // wormhole: dense link index per hop (storage reused)
+	vcs       []int8  // wormhole: dateline virtual channel per hop
+	bytes     float64 // per-packet bytes after the even split
 	start     float64 // injection time (latency is measured from here)
-	remaining int32   // packets not yet delivered
+	remaining int32   // packets (or worms) not yet delivered
 	onDone    func()  // caller's delivery callback (may be nil)
 }
 
@@ -100,6 +166,7 @@ type Network struct {
 	freeAt []float64 // per-link: time the link becomes free
 	busy   []float64 // per-link: accumulated transmission time
 	buf    *bufNetwork
+	wh     *whNetwork
 
 	// CSR adjacency with dense link ids: the neighbors of node v are
 	// nbrNode[nbrOff[v]:nbrOff[v+1]], in Topology.Neighbors order, and
@@ -152,6 +219,15 @@ func NewNetwork(eng *Engine, cfg Config) (*Network, error) {
 	}
 	if cfg.BufferPackets > 0 {
 		n.buf = newBufNetwork(n)
+	}
+	if cfg.Mode == ModeWormhole {
+		if n.cfg.FlitSize == 0 {
+			n.cfg.FlitSize = defaultFlitSize
+		}
+		if n.cfg.FlitBuffer == 0 {
+			n.cfg.FlitBuffer = defaultFlitBuffer
+		}
+		n.wh = newWhNetwork(n)
 	}
 	return n, nil
 }
@@ -239,6 +315,12 @@ func (n *Network) Send(src, dst int, bytes float64, onDelivered func()) {
 	}
 	m.bytes = packetBytes
 	m.remaining = int32(packets)
+	if n.wh != nil {
+		// Wormhole mode: each packet travels as a worm of flits; the
+		// worm pool replaces the packet pool entirely.
+		n.wh.launch(mi, start, packets)
+		return
+	}
 	for pkt := 0; pkt < packets; pkt++ {
 		pi := n.allocPkt()
 		p := &n.pkts[pi]

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	topomap "repro"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -48,18 +49,29 @@ func directBody(t *testing.T, spec Job) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := strat.Map(g, topo)
-	if err != nil {
-		t.Fatal(err)
-	}
 	res := JobResult{
 		Strategy: strat.Name(),
 		Topology: topo.Name(),
 		Graph:    g.Name(),
 		Tasks:    g.NumVertices(),
-		Mapping:  m,
-		HopBytes: core.HopBytes(g, topo, m),
 	}
+	var m []int
+	if g.NumVertices() > topo.Nodes() {
+		pr, err := topomap.MapTasks(g, topo, nil, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = pr.Placement
+		res.EdgeCut = pr.EdgeCut
+		res.Imbalance = pr.Imbalance
+	} else {
+		m, err = strat.Map(g, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Mapping = m
+	res.HopBytes = core.HopBytes(g, topo, m)
 	if total := g.TotalComm(); total > 0 {
 		res.HopsPerByte = res.HopBytes / total
 	}
@@ -75,6 +87,10 @@ func directBody(t *testing.T, spec Job) []byte {
 		if err != nil {
 			t.Fatal(err)
 		}
+		mode, err := netsim.ParseMode(s.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rr, err := trace.Replay(prog, m, netsim.Config{
 			Topology:         topo.(topology.Router),
 			LinkBandwidth:    s.LinkBandwidth,
@@ -82,6 +98,9 @@ func directBody(t *testing.T, spec Job) []byte {
 			PacketSize:       s.PacketSize,
 			Adaptive:         s.Adaptive,
 			BufferPackets:    s.BufferPackets,
+			Mode:             mode,
+			FlitSize:         s.FlitSize,
+			FlitBuffer:       s.FlitBuffer,
 			CollectLatencies: s.CollectLatencies,
 		})
 		if err != nil {
@@ -112,6 +131,19 @@ func testJobs() []Job {
 		{Graph: GraphSpec{Pattern: "stencil9:6,6", MsgBytes: 1e5, Seed: 1},
 			Topology: "torus:6,6", Strategy: "topolb", Seed: 1, Metrics: true,
 			Sim: &SimSpec{Iterations: 2, ComputeTime: 1e-5, LinkBandwidth: 1e8, LinkLatency: 1e-6, PacketSize: 1024}},
+		// Wormhole (flit-level) simulation mode.
+		{Graph: GraphSpec{Pattern: "stencil9:6,6", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:6,6", Strategy: "topolb", Seed: 1,
+			Sim: &SimSpec{Iterations: 2, ComputeTime: 1e-5, LinkBandwidth: 1e8, LinkLatency: 1e-6,
+				PacketSize: 1024, Mode: "wormhole", FlitSize: 64, FlitBuffer: 4, CollectLatencies: true}},
+		// Partitioned jobs (tasks > processors) through the two-phase
+		// pipeline, with and without a wormhole evaluation pass.
+		{Graph: GraphSpec{Pattern: "mesh2d:8,8", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "topolb", Seed: 1, Metrics: true},
+		{Graph: GraphSpec{Pattern: "mesh2d:8,8", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "topolb", Seed: 1, Refine: true,
+			Sim: &SimSpec{Iterations: 1, ComputeTime: 1e-5, LinkBandwidth: 1e8, LinkLatency: 1e-6,
+				PacketSize: 1024, Mode: "wormhole", FlitSize: 128}},
 	}
 }
 

@@ -57,8 +57,12 @@ func TestMalformedRequests(t *testing.T) {
 		{"unknown topology", "/v1/map", `{"topology":"moebius:4,4","graph":{"pattern":"mesh2d:4,4"}}`, 400},
 		{"unknown strategy", "/v1/map",
 			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"strategy":"psychic"}`, 400},
-		{"task/processor mismatch", "/v1/map",
-			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:8,8"}}`, 400},
+		{"too few tasks to fill the machine", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:2,2"}}`, 400},
+		{"wormhole with adaptive", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"sim":{"mode":"wormhole","adaptive":true}}`, 400},
+		{"unknown sim mode", "/v1/map",
+			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"sim":{"mode":"tachyon"}}`, 400},
 		{"negative sim iterations", "/v1/map",
 			`{"topology":"torus:4,4","graph":{"pattern":"mesh2d:4,4"},"sim":{"iterations":-3}}`, 400},
 		{"bad inline graph", "/v1/map",

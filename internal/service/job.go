@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	topomap "repro"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -79,6 +80,15 @@ type SimSpec struct {
 	// BufferPackets enables credit-based flow control with that many
 	// downstream buffers per (link, VC).
 	BufferPackets int `json:"buffer_packets,omitempty"`
+	// Mode selects the contention model: "packet" (default) or
+	// "wormhole" (flit-level cut-through with head-of-line blocking).
+	Mode string `json:"mode,omitempty"`
+	// FlitSize is the wormhole flit payload in bytes (0 = simulator
+	// default).
+	FlitSize int `json:"flit_size,omitempty"`
+	// FlitBuffer is the wormhole per-(link, VC) flit buffer depth (0 =
+	// simulator default).
+	FlitBuffer int `json:"flit_buffer,omitempty"`
 	// CollectLatencies records per-message latencies so the stats carry
 	// P50/P95/P99.
 	CollectLatencies bool `json:"collect_latencies,omitempty"`
@@ -88,15 +98,20 @@ type SimSpec struct {
 // the wire order; the body is cached and must be identical to what a
 // direct library call would produce.
 type JobResult struct {
-	Strategy    string          `json:"strategy"`
-	Topology    string          `json:"topology"`
-	Graph       string          `json:"graph"`
-	Tasks       int             `json:"tasks"`
-	Mapping     []int           `json:"mapping"`
-	HopBytes    float64         `json:"hop_bytes"`
-	HopsPerByte float64         `json:"hops_per_byte"`
-	Report      *metrics.Report `json:"report,omitempty"`
-	Sim         *SimResult      `json:"sim,omitempty"`
+	Strategy    string  `json:"strategy"`
+	Topology    string  `json:"topology"`
+	Graph       string  `json:"graph"`
+	Tasks       int     `json:"tasks"`
+	Mapping     []int   `json:"mapping"`
+	HopBytes    float64 `json:"hop_bytes"`
+	HopsPerByte float64 `json:"hops_per_byte"`
+	// EdgeCut and Imbalance report the phase-one partition quality for
+	// jobs with more tasks than processors (two-phase pipeline); both are
+	// omitted for one-task-per-processor jobs.
+	EdgeCut   float64         `json:"edge_cut,omitempty"`
+	Imbalance float64         `json:"imbalance,omitempty"`
+	Report    *metrics.Report `json:"report,omitempty"`
+	Sim       *SimResult      `json:"sim,omitempty"`
 }
 
 // SimResult carries the netsim evaluation outputs.
@@ -113,6 +128,9 @@ type job struct {
 	topo  topology.Topology
 	strat core.Strategy
 	key   string
+	// partitioned marks a job with more tasks than processors, served by
+	// the two-phase partition→map pipeline.
+	partitioned bool
 }
 
 // jobError is a client-side job defect carrying the HTTP status the
@@ -175,6 +193,20 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 		if sim.LinkLatency == 0 {
 			sim.LinkLatency = 1e-6
 		}
+		sim.Mode = strings.ToLower(strings.TrimSpace(sim.Mode))
+		mode, err := netsim.ParseMode(sim.Mode)
+		if err != nil {
+			return nil, badJob(400, "job: sim: %v", err)
+		}
+		if sim.FlitSize < 0 || sim.FlitBuffer < 0 {
+			return nil, badJob(400, "job: sim: flit_size and flit_buffer must be non-negative")
+		}
+		if mode == netsim.ModeWormhole && sim.Adaptive {
+			return nil, badJob(400, "job: sim: wormhole mode routes deterministically (adaptive not supported)")
+		}
+		if mode == netsim.ModeWormhole && sim.BufferPackets > 0 {
+			return nil, badJob(400, "job: sim: wormhole mode has its own flit buffers (buffer_packets not supported)")
+		}
 		spec.Sim = &sim
 	}
 
@@ -220,9 +252,14 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	if maxTasks > 0 && j.graph.NumVertices() > maxTasks {
 		return nil, badJob(413, "job: graph has %d tasks, limit is %d", j.graph.NumVertices(), maxTasks)
 	}
-	if j.graph.NumVertices() != j.topo.Nodes() {
-		return nil, badJob(400, "job: graph has %d tasks but topology has %d processors (counts must match)",
+	switch {
+	case j.graph.NumVertices() < j.topo.Nodes():
+		return nil, badJob(400, "job: graph has %d tasks but topology has %d processors (tasks must fill the machine)",
 			j.graph.NumVertices(), j.topo.Nodes())
+	case j.graph.NumVertices() > j.topo.Nodes():
+		// More tasks than processors: serve through the two-phase
+		// partition→map pipeline.
+		j.partitioned = true
 	}
 	j.key = contentKey(&spec, graphBytes)
 	return j, nil
@@ -241,9 +278,10 @@ func contentKey(spec *Job, inlineGraph []byte) string {
 		hashf(h, "inline\x00%d\x00%s", len(inlineGraph), inlineGraph)
 	}
 	if s := spec.Sim; s != nil {
-		hashf(h, "sim\x00%d\x00%g\x00%g\x00%g\x00%d\x00%t\x00%d\x00%t\x00",
+		hashf(h, "sim\x00%d\x00%g\x00%g\x00%g\x00%d\x00%t\x00%d\x00%s\x00%d\x00%d\x00%t\x00",
 			s.Iterations, s.ComputeTime, s.LinkBandwidth, s.LinkLatency,
-			s.PacketSize, s.Adaptive, s.BufferPackets, s.CollectLatencies)
+			s.PacketSize, s.Adaptive, s.BufferPackets,
+			s.Mode, s.FlitSize, s.FlitBuffer, s.CollectLatencies)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -259,17 +297,31 @@ func hashf(h io.Writer, format string, args ...any) {
 // distinct content key; the tests compare its output against independent
 // library calls to pin the service to the library.
 func (j *job) compute() (*JobResult, error) {
-	m, err := j.strat.Map(j.graph, j.topo)
-	if err != nil {
-		return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
-	}
 	res := &JobResult{
 		Strategy: j.strat.Name(),
 		Topology: j.topo.Name(),
 		Graph:    j.graph.Name(),
 		Tasks:    j.graph.NumVertices(),
-		Mapping:  m,
 	}
+	var m []int
+	if j.partitioned {
+		// Two-phase pipeline: partition tasks into one group per
+		// processor, then map the quotient graph with the job's strategy.
+		pr, err := topomap.MapTasks(j.graph, j.topo, nil, j.strat)
+		if err != nil {
+			return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
+		}
+		m = pr.Placement
+		res.EdgeCut = pr.EdgeCut
+		res.Imbalance = pr.Imbalance
+	} else {
+		var err error
+		m, err = j.strat.Map(j.graph, j.topo)
+		if err != nil {
+			return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
+		}
+	}
+	res.Mapping = m
 	res.HopBytes = core.HopBytes(j.graph, j.topo, m)
 	if total := j.graph.TotalComm(); total > 0 {
 		res.HopsPerByte = res.HopBytes / total
@@ -286,6 +338,10 @@ func (j *job) compute() (*JobResult, error) {
 		if err != nil {
 			return nil, badJob(422, "job: sim: %v", err)
 		}
+		mode, err := netsim.ParseMode(s.Mode)
+		if err != nil {
+			return nil, badJob(400, "job: sim: %v", err)
+		}
 		cfg := netsim.Config{
 			Topology:         j.topo.(topology.Router),
 			LinkBandwidth:    s.LinkBandwidth,
@@ -293,6 +349,9 @@ func (j *job) compute() (*JobResult, error) {
 			PacketSize:       s.PacketSize,
 			Adaptive:         s.Adaptive,
 			BufferPackets:    s.BufferPackets,
+			Mode:             mode,
+			FlitSize:         s.FlitSize,
+			FlitBuffer:       s.FlitBuffer,
 			CollectLatencies: s.CollectLatencies,
 		}
 		eng := netsim.GetEngine()
