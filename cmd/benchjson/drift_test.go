@@ -1,0 +1,131 @@
+package main
+
+// The static zero-alloc contract (//lint:hotpath annotations checked by
+// topolint's hotalloc analyzer) and the dynamic one (zeroAllocPrefixes
+// enforced by the netsim suite) describe the same hot paths. This test
+// fails when either side drifts: an annotation added or removed without
+// updating the bench case list, or a zero-alloc family with no case that
+// actually measures it.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// hotpathRoots parses one package directory and returns the names of
+// functions whose doc comment carries a //lint:hotpath annotation;
+// methods are rendered "(*Recv).Name".
+func hotpathRoots(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	noTests := func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }
+	pkgs, err := parser.ParseDir(fset, dir, noTests, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var roots []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if !strings.HasPrefix(c.Text, "//lint:hotpath") {
+						continue
+					}
+					name := fd.Name.Name
+					if fd.Recv != nil && len(fd.Recv.List) == 1 {
+						name = "(" + recvString(fd.Recv.List[0].Type) + ")." + name
+					}
+					roots = append(roots, name)
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+func recvString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvString(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvString(e.X)
+	case *ast.IndexListExpr:
+		return recvString(e.X)
+	}
+	return "?"
+}
+
+// TestHotpathAnnotationsMatchBenchCases pins the annotated root set. If a
+// //lint:hotpath annotation is added or removed, this test forces the
+// author to revisit zeroAllocPrefixes and the bench case lists so the
+// dynamic guard keeps measuring what the static analyzer promises.
+func TestHotpathAnnotationsMatchBenchCases(t *testing.T) {
+	want := map[string][]string{
+		filepath.Join("..", "..", "internal", "netsim"): {"(*Engine).Run"},
+		filepath.Join("..", "..", "internal", "parallel"): {
+			"ArgMax", "ArgMin", "First", "For", "Map", "Reduce",
+		},
+	}
+	for dir, expect := range want {
+		got := hotpathRoots(t, dir)
+		if strings.Join(got, ",") != strings.Join(expect, ",") {
+			t.Errorf("%s: //lint:hotpath roots = %v, want %v\n"+
+				"annotations drifted: update zeroAllocPrefixes and the netsim bench cases to match, then this list",
+				dir, got, expect)
+		}
+	}
+}
+
+// TestZeroAllocPrefixesCovered checks every zero-alloc family has at
+// least one case in the full, quick, and smoke case lists, so no CI or
+// recording mode can silently stop measuring a family.
+func TestZeroAllocPrefixesCovered(t *testing.T) {
+	lists := map[string][]netsimCase{
+		"full":  netsimCases(false),
+		"quick": netsimCases(true),
+		"smoke": smokeNetsimCases(),
+	}
+	for listName, cs := range lists {
+		for _, prefix := range zeroAllocPrefixes {
+			found := false
+			for _, c := range cs {
+				if strings.HasPrefix(c.name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s case list has no %q case; the zero-alloc guard cannot cover that family", listName, prefix)
+			}
+		}
+	}
+}
+
+// TestZeroAllocViolations exercises the guard logic itself: only
+// optimized rows in a zero-alloc family trip it.
+func TestZeroAllocViolations(t *testing.T) {
+	results := []Result{
+		{Name: "Engine/dense", Mode: "optimized", AllocsPerOp: 160},  // excluded family
+		{Name: "Hotspot/load=4", Mode: "baseline", AllocsPerOp: 12},  // baseline side is exempt
+		{Name: "Hotspot/load=4", Mode: "optimized", AllocsPerOp: 0},  // clean
+		{Name: "Wormhole/load=4", Mode: "optimized", AllocsPerOp: 2}, // violation
+	}
+	got := zeroAllocViolations(results)
+	if len(got) != 1 || !strings.Contains(got[0], "Wormhole/load=4: 2 allocs/op") {
+		t.Errorf("zeroAllocViolations = %v, want exactly the Wormhole/load=4 violation", got)
+	}
+}

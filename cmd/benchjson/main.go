@@ -192,6 +192,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(2)
 	}
+	if *suite == "netsim" {
+		// The hot-path zero-allocation contract is part of the suite: any
+		// optimized Hotspot/Buffered/Wormhole row that allocates in steady
+		// state is a regression, whether the run is a smoke check or a full
+		// recording.
+		if violations := zeroAllocViolations(results); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "benchjson: zero-alloc violation:", v)
+			}
+			os.Exit(1)
+		}
+	}
 	if *smoke && *out == "" {
 		// Smoke runs are CI health checks: print the optimized rows and
 		// leave the committed BENCH files alone.

@@ -135,12 +135,18 @@ func hotspotCase(name string, load int, buffered bool) netsimCase {
 		if err != nil {
 			b.Fatal(err)
 		}
+		send := func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) }
 		run := func() {
 			eng.Reset()
-			work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+			work(send)
 			eng.Run()
 		}
-		run() // warm pools and queue storage
+		// Warm pools and queue storage. Two runs are required: the first
+		// grows the pools to the peak in-flight population, but storage
+		// freed in a different order can still regrow once on the second
+		// pass. Steady state (0 allocs/op) starts at run three.
+		run()
+		run()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -186,12 +192,16 @@ func wormholeCase(name string, load int) netsimCase {
 			if err != nil {
 				b.Fatal(err)
 			}
+			send := func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) }
 			run := func() {
 				eng.Reset()
-				work(func(s, d int, bytes float64) { net.Send(s, d, bytes, nil) })
+				work(send)
 				eng.Run()
 			}
-			run() // warm pools and queue storage
+			// Two warm-up runs: see hotspotCase — steady state starts at
+			// run three.
+			run()
+			run()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -223,13 +233,45 @@ func netsimCases(quick bool) []netsimCase {
 	return cs
 }
 
-// smokeNetsimCases is the CI smoke subset: one engine case and one
-// wormhole case, just enough to catch a broken bench path.
+// smokeNetsimCases is the CI smoke subset: one engine case plus one case
+// per zero-alloc family (packet, buffered, wormhole), so the smoke run
+// both catches a broken bench path and enforces the steady-state
+// zero-allocation contract on every hot path.
 func smokeNetsimCases() []netsimCase {
 	return []netsimCase{
 		engineCase("sparse", 64, 10_000),
+		hotspotCase("Hotspot/load=2", 2, false),
+		hotspotCase("Buffered/load=2", 2, true),
 		wormholeCase("Wormhole/load=2", 2),
 	}
+}
+
+// zeroAllocPrefixes names the case families whose optimized side must be
+// allocation-free in steady state: the packet, buffered, and wormhole hot
+// paths run entirely on pooled state after warm-up. Engine/* cases are
+// excluded — their workload allocates a tick closure per event by design.
+//
+// The //lint:hotpath annotations in internal/netsim and internal/parallel
+// declare the same contract statically; cmd/benchjson/drift_test.go keeps
+// the two lists in sync.
+var zeroAllocPrefixes = []string{"Hotspot/", "Buffered/", "Wormhole/"}
+
+// zeroAllocViolations returns a description per optimized result that
+// belongs to a zero-alloc family yet allocated.
+func zeroAllocViolations(results []Result) []string {
+	var out []string
+	for _, r := range results {
+		if r.Mode != "optimized" || r.AllocsPerOp == 0 {
+			continue
+		}
+		for _, p := range zeroAllocPrefixes {
+			if len(r.Name) >= len(p) && r.Name[:len(p)] == p {
+				out = append(out, fmt.Sprintf("%s: %d allocs/op (want 0)", r.Name, r.AllocsPerOp))
+				break
+			}
+		}
+	}
+	return out
 }
 
 // runNetsimSuite measures every case in both modes and returns baseline

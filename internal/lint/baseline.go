@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a committed snapshot of accepted findings. CI gates on
+// "no findings beyond the baseline", so new code is held to the full
+// contract while pre-existing debt is paid down incrementally: shrinking
+// the baseline is always safe, growing it is a reviewed decision.
+//
+// Entries are matched as a multiset keyed by (module-relative file,
+// analyzer, message) — line and column are deliberately excluded so
+// unrelated edits that shift a finding a few lines do not invalidate the
+// baseline.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry accepts Count findings with the same key.
+type BaselineEntry struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+const baselineVersion = 1
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// NewBaseline builds a baseline from diags. rel maps an absolute
+// filename to its module-relative form; it must match the rel used when
+// filtering later.
+func NewBaseline(diags []Diagnostic, rel func(string) string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		k := baselineKey(rel(d.Pos.Filename), d.Analyzer, d.Message)
+		if e := counts[k]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: rel(d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message, Count: 1}
+	}
+	b := &Baseline{Version: baselineVersion}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter returns the diagnostics not absorbed by the baseline. Each
+// baseline entry absorbs at most Count matching findings; the rest pass
+// through, so a regression that duplicates an accepted finding still
+// fails the gate.
+func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) []Diagnostic {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.File, e.Analyzer, e.Message)] += e.Count
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(rel(d.Pos.Filename), d.Analyzer, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes b as stable, diff-friendly JSON.
+func (b *Baseline) WriteBaseline(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{} // encode [] rather than null
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

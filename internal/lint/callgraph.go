@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathPrefix marks a function as a hot-path root for the hotalloc
+// analyzer:
+//
+//	//lint:hotpath <reason>
+//
+// placed in the function's doc comment. Every function statically
+// reachable from a root must be free of allocating constructs (see
+// hotalloc.go). The reason is free text naming the benchmark or contract
+// that pins the path (e.g. "netsim steady state: BenchmarkNetsim*").
+const hotpathPrefix = "//lint:hotpath"
+
+// funcNode is one declared function (or method) of the analyzed package
+// set, with its statically resolved call edges.
+type funcNode struct {
+	obj  *types.Func   // canonical (generic origin) object
+	decl *ast.FuncDecl // declaration, body included
+	pkg  *Package
+
+	hot    bool      // declared a //lint:hotpath root
+	hotPos token.Pos // position of the directive (for diagnostics)
+
+	callees []*types.Func // static callees, deduplicated, source order
+	// dynamics are call sites whose callee cannot be resolved statically:
+	// calls through function-typed variables, fields, or interface
+	// methods. Calls through function-typed parameters of the enclosing
+	// declaration are excluded — the concrete callee is supplied by the
+	// caller, and closure literals are scanned where they are created.
+	dynamics []token.Pos
+}
+
+// callGraph is a lightweight intra-module static call graph built from
+// the type-checked ASTs the loader produces. Method calls resolve through
+// go/types method sets; interface dispatch and function values are
+// recorded as dynamic sites rather than edges, so reachability is a
+// conservative under-approximation paired with explicit "cannot verify"
+// diagnostics at the unresolved sites.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+	// misplacedHotpath are //lint:hotpath comments that are not part of a
+	// function declaration's doc comment and therefore mark nothing.
+	misplacedHotpath []token.Pos
+}
+
+// buildCallGraph constructs the graph over the given packages. Packages
+// missing type information contribute what they can; unresolvable calls
+// degrade to dynamic sites.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*funcNode{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			docs := map[*ast.CommentGroup]bool{}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Doc != nil {
+					docs[fd.Doc] = true
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue // type error; nothing to anchor the node on
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: pkg}
+				if c := hotpathComment(fd.Doc); c != nil {
+					n.hot = true
+					n.hotPos = c.Pos()
+				}
+				if fd.Body != nil {
+					collectCalls(pkg.Info, fd, n)
+				}
+				g.nodes[obj] = n
+			}
+			// Hotpath directives anywhere else (floating comments, struct
+			// docs) mark nothing and are almost certainly mistakes.
+			for _, cg := range f.Comments {
+				if docs[cg] {
+					continue
+				}
+				if c := hotpathComment(cg); c != nil {
+					g.misplacedHotpath = append(g.misplacedHotpath, c.Pos())
+				}
+			}
+		}
+	}
+	return g
+}
+
+// hotpathComment returns the //lint:hotpath comment of the group, or nil.
+func hotpathComment(doc *ast.CommentGroup) *ast.Comment {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, hotpathPrefix); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// collectCalls records every call in fd's body (nested function literals
+// included — their execution context cannot be narrowed statically, so
+// their calls are conservatively attributed to the enclosing declaration).
+func collectCalls(info *types.Info, fd *ast.FuncDecl, n *funcNode) {
+	// params holds the function-typed parameters of fd and of every
+	// enclosing literal: calls through them are the caller's
+	// responsibility (the closure or function value is checked where it
+	// is constructed), not dynamic sites of this body.
+	params := map[types.Object]bool{}
+	addParams := func(ft *ast.FuncType, recv *ast.FieldList) {
+		for _, fl := range []*ast.FieldList{recv, ft.Params, ft.Results} {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						params[obj] = true
+					}
+				}
+			}
+		}
+	}
+	addParams(fd.Type, fd.Recv)
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			addParams(node.Type, nil)
+			return true
+		case *ast.CallExpr:
+			callee, kind := resolveCallee(info, node)
+			switch kind {
+			case callStatic:
+				callee = callee.Origin()
+				if !seen[callee] {
+					seen[callee] = true
+					n.callees = append(n.callees, callee)
+				}
+			case callDynamic:
+				// Calls through parameters are excluded (see params).
+				if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && params[info.Uses[id]] {
+					return true
+				}
+				n.dynamics = append(n.dynamics, node.Fun.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// callKind classifies one call expression.
+type callKind uint8
+
+const (
+	callStatic  callKind = iota // resolved to a single *types.Func
+	callDynamic                 // function value or interface dispatch
+	callOther                   // builtin, conversion, or function literal called in place
+)
+
+// resolveCallee resolves call's callee. Function literals invoked in
+// place report callOther: their body is scanned by the enclosing walk
+// already, so no edge is needed.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (*types.Func, callKind) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](...) / pkg.F[T](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		return nil, callOther
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return obj, callStatic
+		case *types.Builtin, *types.TypeName, *types.Nil:
+			return nil, callOther
+		default:
+			// A function-typed variable (or missing type info).
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return nil, callOther // conversion
+			}
+			return nil, callDynamic
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return nil, callDynamic
+				}
+				if types.IsInterface(sel.Recv()) || isTypeParam(sel.Recv()) {
+					return nil, callDynamic // dispatched at run time
+				}
+				return m, callStatic
+			default: // FieldVal: function-typed struct field
+				return nil, callDynamic
+			}
+		}
+		// Package-qualified selector: pkg.Fn or a conversion pkg.T(x).
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return obj, callStatic
+		case *types.TypeName:
+			return nil, callOther
+		default:
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return nil, callOther
+			}
+			return nil, callDynamic
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil, callOther // conversion through a non-ident type expr
+	}
+	return nil, callDynamic // call of a call result, indexed value, ...
+}
+
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	if ok {
+		return true
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		_, ok = ptr.Elem().(*types.TypeParam)
+	}
+	return ok
+}
+
+// roots returns the //lint:hotpath-annotated nodes sorted by qualified
+// name, so reachability provenance is deterministic.
+func (g *callGraph) roots() []*funcNode {
+	var rs []*funcNode
+	for _, n := range g.nodes {
+		if n.hot {
+			rs = append(rs, n)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return funcName(rs[i].obj) < funcName(rs[j].obj) })
+	return rs
+}
+
+// reachableFrom runs BFS over static edges from the given roots and
+// returns, for every reachable node, the (lexicographically first) root
+// it was discovered from — the provenance named in diagnostics.
+func (g *callGraph) reachableFrom(roots []*funcNode) map[*funcNode]*funcNode {
+	origin := map[*funcNode]*funcNode{}
+	var queue []*funcNode
+	for _, r := range roots {
+		if _, ok := origin[r]; !ok {
+			origin[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, callee := range n.callees {
+			cn := g.nodes[callee]
+			if cn == nil {
+				continue // outside the analyzed packages
+			}
+			if _, ok := origin[cn]; !ok {
+				origin[cn] = origin[n]
+				queue = append(queue, cn)
+			}
+		}
+	}
+	return origin
+}
+
+// funcName renders fn compactly for diagnostics: "netsim.(*Network).onHop".
+func funcName(fn *types.Func) string {
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		star := ""
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+			star = "*"
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = "(" + star + named.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		if i := strings.LastIndex(fn.Pkg().Path(), "/"); i >= 0 {
+			return fn.Pkg().Path()[i+1:] + "." + name
+		}
+		return fn.Pkg().Path() + "." + name
+	}
+	return name
+}

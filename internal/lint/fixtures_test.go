@@ -32,6 +32,16 @@ var fixtureCases = []struct {
 	{"floatcmp", "floatcmp/bad", "repro/internal/fixture", false},
 	{"floatcmp", "floatcmp/good", "repro/internal/fixture", true},
 	{"floatcmp", "suppress/bad", "repro/internal/fixture", false},
+	{"floatcmp", "suppress/placement", "repro/internal/fixture", true},
+	{"floatcmp", "suppress/unused", "repro/internal/fixture", false},
+	{"hotalloc", "hotalloc/bad", "repro/internal/fixture", false},
+	{"hotalloc", "hotalloc/good", "repro/internal/fixture", true},
+	{"parallelpurity", "parallelpurity/bad", "repro/fixture/internal", false},
+	{"parallelpurity", "parallelpurity/good", "repro/fixture/internal", true},
+	{"jsoncontract", "jsoncontract/bad", "repro/internal/service/fixture", false},
+	{"jsoncontract", "jsoncontract/good", "repro/internal/service/fixture", true},
+	{"leakcheck", "leakcheck/bad", "repro/internal/netsim/fixture", false},
+	{"leakcheck", "leakcheck/good", "repro/internal/netsim/fixture", true},
 }
 
 func TestFixtures(t *testing.T) {
@@ -89,7 +99,8 @@ func TestFixtures(t *testing.T) {
 
 // TestRegistry checks the registry surface the CLI depends on.
 func TestRegistry(t *testing.T) {
-	want := []string{"determinism", "errcheck", "floatcmp", "seededrand"}
+	want := []string{"determinism", "errcheck", "floatcmp", "hotalloc",
+		"jsoncontract", "leakcheck", "parallelpurity", "seededrand"}
 	var got []string
 	for _, a := range lint.Analyzers() {
 		got = append(got, a.Name)

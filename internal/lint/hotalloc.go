@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "hotalloc",
+		Doc: "flags allocating constructs (make/new/append growth, slice, map " +
+			"and &-composite literals, capturing closures, go statements, " +
+			"interface boxing, string building, fmt and other known-allocating " +
+			"stdlib calls) plus statically unresolvable calls in every function " +
+			"reachable from a //lint:hotpath-annotated root — the static mirror " +
+			"of the zero-alloc steady-state benchmarks; allocations inside " +
+			"panic(...) arguments are exempt (failure paths never run at steady " +
+			"state)",
+		RunModule: runHotalloc,
+	})
+}
+
+// allocPkgs are stdlib packages whose exported functions allocate as a
+// matter of course; a call into one from a hot path is reported even
+// though the callee's body is not analyzed.
+var allocPkgs = map[string]bool{
+	"fmt":           true,
+	"errors":        true,
+	"strings":       true,
+	"strconv":       true,
+	"bytes":         true,
+	"encoding/json": true,
+	"log":           true,
+	"regexp":        true,
+	"reflect":       true,
+}
+
+func runHotalloc(p *ModulePass) {
+	g := p.graph
+	roots := g.roots()
+	if len(roots) == 0 {
+		return
+	}
+	origin := g.reachableFrom(roots)
+	for n, root := range origin {
+		where := funcName(n.obj)
+		via := ""
+		if root != n {
+			via = " (reachable from //lint:hotpath root " + funcName(root.obj) + ")"
+		} else {
+			via = " (a //lint:hotpath root)"
+		}
+		report := func(pos token.Pos, what string) {
+			p.Reportf(pos, "%s in hot-path function %s%s", what, where, via)
+		}
+		if n.decl.Body != nil {
+			scanAllocs(n.pkg.Info, n.decl, report)
+		}
+		for _, pos := range n.dynamics {
+			report(pos, "call through a function value or interface method cannot be verified allocation-free")
+		}
+	}
+}
+
+// scanAllocs walks fd's body reporting each allocating construct.
+// Subtrees rooted at panic(...) arguments are skipped: panics abort the
+// simulation, so their formatting cost never appears at steady state.
+func scanAllocs(info *types.Info, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine (allocates)")
+		case *ast.FuncLit:
+			if capturesLocals(info, fd, n) {
+				report(n.Pos(), "closure capturing local variables allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite-literal escapes to the heap")
+					// The literal itself is part of this finding.
+					for _, el := range ast.Unparen(n.X).(*ast.CompositeLit).Elts {
+						ast.Inspect(el, walk)
+					}
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates")
+				case *types.Map:
+					report(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) && !isConstExpr(info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			return walkCall(info, n, report, walk)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// walkCall classifies one call expression for scanAllocs, returning
+// false when the walker should not descend into the call's children.
+func walkCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string), walk func(ast.Node) bool) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "panic":
+				return false // failure path: skip the whole argument tree
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return true
+		}
+	}
+	// Conversions: boxing and string<->slice copies allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			reportConversion(info, tv.Type, call, report)
+		}
+		return true
+	}
+	// fmt and friends.
+	if pkgPath, fn := pkgQualifiedCall(info, call); allocPkgs[pkgPath] {
+		report(call.Pos(), "call to "+pkgPath+"."+fn+" allocates")
+	}
+	// Boxing at the call boundary: concrete arguments passed to
+	// interface-typed parameters, and the argument slice of a variadic
+	// call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			reportCallBoxing(info, sig, call, report)
+		}
+	}
+	return true
+}
+
+func reportConversion(info *types.Info, to types.Type, call *ast.CallExpr, report func(token.Pos, string)) {
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(argTV.Type.Underlying()) {
+		report(call.Pos(), "conversion to interface boxes its operand")
+		return
+	}
+	toB, _ := to.Underlying().(*types.Basic)
+	if toB != nil && toB.Info()&types.IsString != 0 {
+		if _, fromSlice := argTV.Type.Underlying().(*types.Slice); fromSlice {
+			report(call.Pos(), "[]byte/[]rune to string conversion copies")
+		}
+		return
+	}
+	if _, toSlice := to.Underlying().(*types.Slice); toSlice && isStringExpr(info, call.Args[0]) {
+		report(call.Pos(), "string to slice conversion copies")
+	}
+}
+
+// reportCallBoxing flags concrete arguments bound to interface-typed
+// parameters (implicit boxing) and non-empty variadic argument lists
+// (the ...T slice is allocated at the call site).
+func reportCallBoxing(info *types.Info, sig *types.Signature, call *ast.CallExpr, report func(token.Pos, string)) {
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no new allocation
+			}
+			if sl, ok := params.At(np - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if i == np-1 {
+				report(arg.Pos(), "variadic call allocates its argument slice")
+			}
+		case i < np:
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if !types.IsInterface(atv.Type.Underlying()) {
+			report(arg.Pos(), "argument boxed into interface parameter")
+		}
+	}
+}
+
+// capturesLocals reports whether lit references a variable declared in
+// the enclosing function fd but outside lit itself — the condition under
+// which the closure needs a heap-allocated environment. Closures over
+// package-level state compile to static functions and are exempt.
+func capturesLocals(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringExpr(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	return ok && tv.Value != nil
+}

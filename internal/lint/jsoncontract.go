@@ -1,0 +1,486 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "jsoncontract",
+		Doc: "topomapd responses must be byte-deterministic (the service's " +
+			"result cache and the paper's cross-run comparisons key on exact " +
+			"bytes): every type reachable from internal/service response " +
+			"marshaling must avoid interface-typed fields (map[K]any and " +
+			"friends), time.Time, and float fields without a fixed formatter " +
+			"(a ,string tag or a json.Marshaler); and every HTTP handler must " +
+			"propagate context.Context — no context.Background/TODO inside " +
+			"handlers, and handlers reaching context-aware code must call " +
+			"r.Context()",
+		RunModule: runJSONContract,
+	})
+}
+
+func runJSONContract(p *ModulePass) {
+	var scoped []*Package
+	for _, pkg := range p.Pkgs {
+		if strings.Contains(pkg.Path, "internal/service") {
+			scoped = append(scoped, pkg)
+		}
+	}
+	if len(scoped) == 0 {
+		return
+	}
+	c := &jsonChecker{pass: p, visited: map[types.Type]bool{}, findings: map[jsonFinding]*fieldList{}}
+	for _, pkg := range scoped {
+		c.collectRoots(pkg)
+	}
+	for _, pkg := range scoped {
+		c.resolveSinkCalls(pkg)
+	}
+	for _, root := range c.roots {
+		c.walkType(root.typ, root.pos)
+	}
+	c.reportFindings()
+	for _, pkg := range scoped {
+		checkHandlers(p, pkg)
+	}
+}
+
+// jsonRoot is one concrete type observed flowing into a marshal call.
+type jsonRoot struct {
+	typ types.Type
+	pos token.Pos // the marshal (or sink-call) argument, for unnamed types
+}
+
+// jsonSink is a function whose interface-typed parameter is forwarded to
+// a marshal call (e.g. writeJSON(w, v any)); argument types at its call
+// sites are marshal roots. One level of forwarding is traced.
+type jsonSink struct {
+	fn       *types.Func
+	paramIdx int
+}
+
+type jsonFinding struct {
+	obj  *types.TypeName // named type owning the offending fields (nil → anonymous)
+	kind string
+}
+
+type fieldList struct {
+	pos    token.Pos
+	fields []string
+}
+
+type jsonChecker struct {
+	pass     *ModulePass
+	roots    []jsonRoot
+	sinks    []jsonSink
+	visited  map[types.Type]bool
+	findings map[jsonFinding]*fieldList
+}
+
+// collectRoots finds encoding/json marshal calls in pkg, recording the
+// static argument type as a root — or, when the argument is an
+// interface-typed parameter of the enclosing function, recording that
+// function as a sink so its callers' argument types become roots.
+func (c *jsonChecker) collectRoots(pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj, _ := info.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg := marshalArg(info, call)
+				if arg == nil {
+					return true
+				}
+				c.addRootOrSink(info, fobj, arg)
+				return true
+			})
+		}
+	}
+}
+
+// marshalArg returns the value expression marshaled by call, if call is
+// json.Marshal/MarshalIndent or (*json.Encoder).Encode.
+func marshalArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	callee, kind := resolveCallee(info, call)
+	if kind != callStatic || callee.Pkg() == nil || callee.Pkg().Path() != "encoding/json" {
+		return nil
+	}
+	switch callee.Name() {
+	case "Marshal", "MarshalIndent", "Encode":
+		if len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+func (c *jsonChecker) addRootOrSink(info *types.Info, enclosing *types.Func, arg ast.Expr) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !types.IsInterface(tv.Type.Underlying()) {
+		c.roots = append(c.roots, jsonRoot{typ: tv.Type, pos: arg.Pos()})
+		return
+	}
+	// Interface-typed argument: if it is a parameter of the enclosing
+	// function, the function is a forwarding sink; otherwise the dynamic
+	// type is unknowable statically and the site is left to reviewers.
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok || enclosing == nil {
+		return
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	sig := enclosing.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			c.sinks = append(c.sinks, jsonSink{fn: enclosing.Origin(), paramIdx: i})
+		}
+	}
+}
+
+// resolveSinkCalls turns arguments at sink call sites into roots.
+func (c *jsonChecker) resolveSinkCalls(pkg *Package) {
+	if len(c.sinks) == 0 {
+		return
+	}
+	info := pkg.Info
+	byFn := map[*types.Func][]int{}
+	for _, s := range c.sinks {
+		byFn[s.fn] = append(byFn[s.fn], s.paramIdx)
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, kind := resolveCallee(info, call)
+			if kind != callStatic {
+				return true
+			}
+			idxs, ok := byFn[callee.Origin()]
+			if !ok {
+				return true
+			}
+			for _, i := range idxs {
+				if i < len(call.Args) {
+					if tv, ok := info.Types[call.Args[i]]; ok && tv.Type != nil && !types.IsInterface(tv.Type.Underlying()) {
+						c.roots = append(c.roots, jsonRoot{typ: tv.Type, pos: call.Args[i].Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkType recursively checks t's JSON shape. rootPos anchors findings on
+// unnamed types (the marshal argument); named types report at their
+// declaration so one //lint:ignore covers every use.
+func (c *jsonChecker) walkType(t types.Type, rootPos token.Pos) {
+	if c.visited[t] {
+		return
+	}
+	c.visited[t] = true
+	var owner *types.TypeName
+	pos := rootPos
+	if named, ok := t.(*types.Named); ok {
+		owner = named.Obj()
+		pos = owner.Pos()
+		if isTimeTime(named) {
+			c.record(owner, pos, "time.Time", "")
+			return
+		}
+		if hasMarshalJSON(t) {
+			return // custom marshaler: the type controls its own bytes
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		c.walkType(u.Elem(), rootPos)
+	case *types.Slice:
+		c.walkType(u.Elem(), rootPos)
+	case *types.Array:
+		c.walkType(u.Elem(), rootPos)
+	case *types.Map:
+		if types.IsInterface(u.Elem().Underlying()) {
+			c.record(owner, pos, "map with interface-typed values (encoded bytes depend on dynamic types)", "")
+		} else {
+			c.walkType(u.Elem(), rootPos)
+		}
+	case *types.Interface:
+		c.record(owner, pos, "interface-typed value (encoded bytes depend on the dynamic type)", "")
+	case *types.Struct:
+		c.walkStruct(owner, pos, u, rootPos)
+	}
+}
+
+func (c *jsonChecker) walkStruct(owner *types.TypeName, pos token.Pos, st *types.Struct, rootPos token.Pos) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "-" || (!f.Exported() && !f.Embedded()) {
+			continue
+		}
+		ft := f.Type()
+		switch {
+		case types.IsInterface(ft.Underlying()):
+			c.record(owner, pos, "interface-typed field", f.Name())
+		case isTimeType(ft):
+			c.record(owner, pos, "time.Time field", f.Name())
+		case isMapWithAnyValues(ft):
+			c.record(owner, pos, "map[K]any field", f.Name())
+		case isBareFloat(ft) && !tagHasString(tag):
+			c.record(owner, pos, "float field without a fixed formatter (add a `,string` tag or a json.Marshaler)", f.Name())
+		default:
+			c.walkType(ft, rootPos)
+		}
+	}
+}
+
+// record registers one finding, aggregating fields per (type, kind) so a
+// type with eight float fields draws one diagnostic, not eight.
+func (c *jsonChecker) record(owner *types.TypeName, pos token.Pos, kind, field string) {
+	k := jsonFinding{obj: owner, kind: kind}
+	fl := c.findings[k]
+	if fl == nil {
+		fl = &fieldList{pos: pos}
+		c.findings[k] = fl
+	}
+	if field != "" {
+		fl.fields = append(fl.fields, field)
+	}
+}
+
+func (c *jsonChecker) reportFindings() {
+	keys := make([]jsonFinding, 0, len(c.findings))
+	for k := range c.findings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := c.findings[keys[i]], c.findings[keys[j]]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		fl := c.findings[k]
+		name := "marshaled value"
+		if k.obj != nil {
+			name = "response type " + k.obj.Name()
+		}
+		msg := name + " is not byte-deterministic: " + k.kind
+		if len(fl.fields) > 0 {
+			sort.Strings(fl.fields)
+			msg += " (" + strings.Join(dedupStrings(fl.fields), ", ") + ")"
+		}
+		c.pass.Reportf(fl.pos, "%s", msg)
+	}
+}
+
+func dedupStrings(ss []string) []string {
+	out := ss[:0]
+	var last string
+	for i, s := range ss {
+		if i == 0 || s != last {
+			out = append(out, s)
+		}
+		last = s
+	}
+	return out
+}
+
+func tagHasString(tag string) bool {
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		for _, opt := range strings.Split(tag[i+1:], ",") {
+			if opt == "string" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isBareFloat(t types.Type) bool {
+	if hasMarshalJSON(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isMapWithAnyValues(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	return ok && types.IsInterface(m.Elem().Underlying())
+}
+
+// isTimeTime matches time.Time by package and name so fixture stubs of
+// the real package also match.
+func isTimeTime(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Name() == "time"
+}
+
+func isTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && isTimeTime(named)
+}
+
+// hasMarshalJSON reports whether t (or *t) has a MarshalJSON() ([]byte,
+// error) method — a fixed formatter under the analyzer's contract.
+func hasMarshalJSON(t types.Type) bool {
+	for _, tt := range []types.Type{t, types.NewPointer(t)} {
+		if m, _, _ := types.LookupFieldOrMethod(tt, true, nil, "MarshalJSON"); m != nil {
+			if fn, ok := m.(*types.Func); ok {
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// --- handler context rules ---
+
+// checkHandlers enforces context propagation: a handler-shaped function
+// (http.ResponseWriter + *http.Request parameters) must not construct a
+// fresh context via context.Background/TODO, and if it transitively
+// reaches a function taking context.Context it must derive that context
+// from r.Context() in its own body.
+func checkHandlers(p *ModulePass, pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			reqParam := handlerRequestParam(info, fd)
+			if reqParam == nil {
+				continue
+			}
+			callsReqContext := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == reqParam {
+						callsReqContext = true
+					}
+				}
+				callee, kind := resolveCallee(info, call)
+				if kind == callStatic && callee.Pkg() != nil && callee.Pkg().Path() == "context" {
+					switch callee.Name() {
+					case "Background", "TODO":
+						p.Reportf(call.Pos(), "handler %s constructs context.%s instead of propagating the request context; use r.Context() so client disconnects cancel work", fd.Name.Name, callee.Name())
+					}
+				}
+				return true
+			})
+			if callsReqContext {
+				continue
+			}
+			if target := reachesContextAware(p, pkg, fd); target != nil {
+				p.Reportf(fd.Pos(), "handler %s reaches context-aware %s but never calls r.Context(); request cancellation is not propagated", fd.Name.Name, funcName(target))
+			}
+		}
+	}
+}
+
+// handlerRequestParam returns fd's *http.Request parameter if fd is
+// handler-shaped (also has an http.ResponseWriter parameter), else nil.
+// Matching is by package name + type name so fixture stubs qualify.
+func handlerRequestParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	var hasWriter bool
+	var req *types.Var
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			if isPkgNamed(v.Type(), "http", "ResponseWriter") {
+				hasWriter = true
+			}
+			if ptr, ok := v.Type().(*types.Pointer); ok && isPkgNamed(ptr.Elem(), "http", "Request") {
+				req = v
+			}
+		}
+	}
+	if hasWriter && req != nil {
+		return req
+	}
+	return nil
+}
+
+func isPkgNamed(t types.Type, pkgName, typeName string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// reachesContextAware walks static call edges from fd and returns the
+// first module function with a context.Context parameter, or nil.
+func reachesContextAware(p *ModulePass, pkg *Package, fd *ast.FuncDecl) *types.Func {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	start := p.graph.nodes[obj]
+	if start == nil {
+		return nil
+	}
+	seen := map[*funcNode]bool{start: true}
+	queue := []*funcNode{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, callee := range n.callees {
+			if takesContext(callee) && p.graph.nodes[callee] != nil {
+				return callee
+			}
+			cn := p.graph.nodes[callee]
+			if cn != nil && !seen[cn] {
+				seen[cn] = true
+				queue = append(queue, cn)
+			}
+		}
+	}
+	return nil
+}
+
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isPkgNamed(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

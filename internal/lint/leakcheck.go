@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "leakcheck",
+		Doc: "goroutines spawned in internal/service and internal/netsim must " +
+			"be joinable or cancellable — a go statement is accepted only when " +
+			"the spawning function performs a WaitGroup.Add before it, or the " +
+			"goroutine body (function literal or same-package callee) visibly " +
+			"terminates: WaitGroup.Done, a ctx.Done()/ctx.Err() check, a " +
+			"select, or channel operations (semaphore handoff); anything else " +
+			"can leak past server shutdown or test teardown",
+		Run: runLeakcheck,
+	})
+}
+
+// leakcheckPkgs are the path fragments selecting the packages in scope:
+// the long-running service and the simulator core it drives.
+var leakcheckPkgs = []string{"internal/service", "internal/netsim"}
+
+func runLeakcheck(p *Pass) {
+	inScope := false
+	for _, frag := range leakcheckPkgs {
+		if strings.Contains(p.Pkg.Path, frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := p.Pkg.Info
+	// Same-package function bodies, for resolving `go s.worker(...)`.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	p.walkFiles(func(f *ast.File) {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj.Origin()] = fd
+				}
+			}
+		}
+	})
+	p.walkFiles(func(f *ast.File) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			addPositions := waitGroupAddPositions(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if precededByAdd(addPositions, g.Pos()) {
+					return true
+				}
+				if body := goroutineBody(info, decls, g.Call); body != nil && hasTerminationSignal(info, body) {
+					return true
+				}
+				p.Reportf(g.Pos(), "go statement is tied to no WaitGroup, semaphore, or ctx-cancellable loop; the goroutine can leak past shutdown")
+				return true
+			})
+		}
+	})
+}
+
+// waitGroupAddPositions collects the positions of WaitGroup.Add calls in
+// fd's body.
+func waitGroupAddPositions(info *types.Info, fd *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isMethodOn(info, call, "sync", "WaitGroup", "Add") {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func precededByAdd(adds []token.Pos, goPos token.Pos) bool {
+	for _, p := range adds {
+		if p < goPos {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineBody resolves the spawned body: a function literal directly,
+// or the declaration of a statically resolved same-package callee.
+func goroutineBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if callee, kind := resolveCallee(info, call); kind == callStatic {
+		if fd := decls[callee.Origin()]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasTerminationSignal reports whether the goroutine body visibly
+// participates in a shutdown protocol: WaitGroup.Done, a context
+// Done/Err check, a select statement, or any channel operation (the
+// semaphore idiom). One level deep — calls out of the body are not
+// followed; restructure or //lint:ignore with the protocol named.
+func hasTerminationSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over a channel drains until close — a join signal.
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isMethodOn(info, n, "sync", "WaitGroup", "Done") ||
+				isMethodOn(info, n, "context", "Context", "Done") ||
+				isMethodOn(info, n, "context", "Context", "Err") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMethodOn reports whether call invokes method name on a receiver whose
+// type is pkgName.typeName (matched by name so fixture stubs qualify; for
+// interfaces like context.Context the method set carries the interface's
+// type name).
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgName, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	return isPkgNamed(t, pkgName, typeName)
+}

@@ -37,12 +37,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check. Run inspects the package held by the
-// Pass and reports findings through it.
+// Analyzer is one named check. Per-package analyzers set Run, which is
+// invoked once per package; cross-package analyzers (those needing the
+// module call graph or whole-module type reachability) set RunModule,
+// which is invoked once over the full package set. Exactly one of the
+// two should be set.
 type Analyzer struct {
-	Name string // short lower-case identifier, e.g. "determinism"
-	Doc  string // one-paragraph description of the enforced invariant
-	Run  func(*Pass)
+	Name      string // short lower-case identifier, e.g. "determinism"
+	Doc       string // one-paragraph description of the enforced invariant
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -63,6 +67,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one (analyzer, package set) unit of work for
+// cross-package analyzers, along with the shared intra-module call graph
+// (built once per Run and reused by every module analyzer).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Fset     *token.FileSet
+
+	graph *callGraph
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // registry of analyzers, keyed by name.
 var (
 	regMu    sync.Mutex
@@ -74,8 +99,8 @@ var (
 func Register(a *Analyzer) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if a.Name == "" || a.Run == nil {
-		panic("lint: Register: analyzer needs a name and a Run function")
+	if a.Name == "" || (a.Run == nil && a.RunModule == nil) {
+		panic("lint: Register: analyzer needs a name and a Run or RunModule function")
 	}
 	if _, dup := registry[a.Name]; dup {
 		panic("lint: Register: duplicate analyzer " + a.Name)
@@ -105,28 +130,73 @@ func Lookup(name string) *Analyzer {
 // Run executes the given analyzers over the given packages and returns
 // all findings that are not covered by a //lint:ignore directive,
 // sorted by file, line, column, then analyzer name. Malformed ignore
-// directives (missing analyzer name or reason) are reported as
-// findings of the pseudo-analyzer "lint".
+// directives (missing analyzer name or reason) and directives that
+// suppress nothing are reported as findings of the pseudo-analyzer
+// "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	if len(pkgs) == 0 {
+		return nil
+	}
 	var diags []Diagnostic
+	var graph *callGraph
+	for _, a := range analyzers {
+		if a.RunModule != nil && graph == nil {
+			graph = buildCallGraph(pkgs)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &diags}
 			a.Run(pass)
 		}
 	}
-	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
-		known[a.Name] = true
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Fset: pkgs[0].Fset, graph: graph, diags: &diags}
+		a.RunModule(mp)
+	}
+	if graph != nil {
+		for _, pos := range graph.misplacedHotpath {
+			diags = append(diags, Diagnostic{
+				Pos:      pkgs[0].Fset.Position(pos),
+				Analyzer: "lint",
+				Message:  "//lint:hotpath is not attached to a function declaration's doc comment and marks nothing",
+			})
+		}
+	}
+	// Directives may name any registered analyzer (or one explicitly in
+	// this run); unused-ignore reporting only considers analyzers that
+	// actually ran, and "all" directives only full runs.
+	run := make(map[string]bool, len(analyzers))
+	valid := map[string]bool{}
+	for _, a := range analyzers {
+		run[a.Name] = true
+		valid[a.Name] = true
+	}
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+	fullRun := true
+	for _, a := range Analyzers() {
+		if !run[a.Name] {
+			fullRun = false
+			break
+		}
 	}
 	var kept []Diagnostic
-	sup := newSuppressions(pkgs, known)
+	sup := newSuppressions(pkgs, valid)
 	kept = append(kept, sup.malformed...)
 	for _, d := range diags {
 		if !sup.covers(d) {
 			kept = append(kept, d)
 		}
 	}
+	kept = append(kept, sup.unused(run, fullRun)...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -221,6 +222,16 @@ func (ld *loader) loadAt(path, dir string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		// Respect build constraints — filename GOOS/GOARCH suffixes and
+		// //go:build lines — exactly as the go tool would for the host
+		// platform, so a package with platform-gated files type-checks as
+		// one coherent build instead of a pile of conflicting declarations.
+		if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
+			if err != nil {
+				return nil, fmt.Errorf("match %s: %w", e.Name(), err)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -1,33 +1,64 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"strconv"
 	"strings"
 )
 
-// ignoreDirective is one parsed //lint:ignore comment.
-type ignoreDirective struct {
-	file      string
-	line      int    // line the comment sits on
-	analyzers string // comma-separated analyzer names, or "all"
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos   token.Position
+	names string // comma-separated analyzer names, or "all"
+	used  bool   // set when the directive suppresses at least one finding
+}
+
+// matches reports whether the directive names analyzer (or "all").
+func (d *directive) matches(analyzer string) bool {
+	if d.names == "all" {
+		return true
+	}
+	for _, name := range strings.Split(d.names, ",") {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
 }
 
 // suppressions indexes every //lint:ignore directive of a package set.
-// A directive on line L covers diagnostics on L (trailing comment) and
-// L+1 (comment on its own line above the code).
+// A directive covers diagnostics on two lines: the line the directive
+// itself sits on (trailing comments), and the first following line that
+// holds non-comment code — so a directive on its own line keeps working
+// when a blank line or further comments separate it from the statement
+// it justifies.
 type suppressions struct {
-	byFileLine map[string]map[int][]string
+	byFileLine map[string]map[int][]*directive
+	dirs       []*directive
 	malformed  []Diagnostic
 }
 
-func newSuppressions(pkgs []*Package, known map[string]bool) *suppressions {
-	s := &suppressions{byFileLine: map[string]map[int][]string{}}
+// newSuppressions parses directives from pkgs. valid is the set of
+// analyzer names a directive may mention (unknown names are malformed).
+func newSuppressions(pkgs []*Package, valid map[string]bool) *suppressions {
+	s := &suppressions{byFileLine: map[string]map[int][]*directive{}}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
+			var codeLines []int
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					s.addComment(pkg.Fset, c.Pos(), c.Text, known)
+					d := s.parseComment(pkg.Fset, c.Pos(), c.Text, valid)
+					if d == nil {
+						continue
+					}
+					if codeLines == nil {
+						codeLines = fileCodeLines(pkg.Fset, f)
+					}
+					s.add(d, d.pos.Line)
+					if next := firstLineAfter(codeLines, d.pos.Line); next > 0 {
+						s.add(d, next)
+					}
 				}
 			}
 		}
@@ -35,10 +66,22 @@ func newSuppressions(pkgs []*Package, known map[string]bool) *suppressions {
 	return s
 }
 
-func (s *suppressions) addComment(fset *token.FileSet, pos token.Pos, text string, known map[string]bool) {
+func (s *suppressions) add(d *directive, line int) {
+	m := s.byFileLine[d.pos.Filename]
+	if m == nil {
+		m = map[int][]*directive{}
+		s.byFileLine[d.pos.Filename] = m
+	}
+	m[line] = append(m[line], d)
+}
+
+// parseComment parses one comment as a //lint:ignore directive,
+// recording malformed ones as diagnostics. Returns nil when the comment
+// is not a (well-formed) directive.
+func (s *suppressions) parseComment(fset *token.FileSet, pos token.Pos, text string, valid map[string]bool) *directive {
 	const prefix = "//lint:ignore"
 	if !strings.HasPrefix(text, prefix) {
-		return
+		return nil
 	}
 	p := fset.Position(pos)
 	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
@@ -49,45 +92,120 @@ func (s *suppressions) addComment(fset *token.FileSet, pos token.Pos, text strin
 			Analyzer: "lint",
 			Message:  "malformed //lint:ignore directive: need an analyzer name and a reason",
 		})
-		return
+		return nil
 	}
 	names := fields[0]
 	for _, name := range strings.Split(names, ",") {
-		if name != "all" && !known[name] {
+		if name != "all" && !valid[name] {
 			s.malformed = append(s.malformed, Diagnostic{
 				Pos:      p,
 				Analyzer: "lint",
 				Message:  "//lint:ignore names unknown analyzer " + strconv.Quote(name),
 			})
-			return
+			return nil
 		}
 	}
-	m := s.byFileLine[p.Filename]
-	if m == nil {
-		m = map[int][]string{}
-		s.byFileLine[p.Filename] = m
-	}
-	m[p.Line] = append(m[p.Line], names)
+	d := &directive{pos: p, names: names}
+	s.dirs = append(s.dirs, d)
+	return d
 }
 
-// covers reports whether d is suppressed by a directive on its line or
-// the line above.
-func (s *suppressions) covers(d Diagnostic) bool {
-	m := s.byFileLine[d.Pos.Filename]
+// covers reports whether diag is suppressed by a directive, marking the
+// matching directive as used.
+func (s *suppressions) covers(diag Diagnostic) bool {
+	m := s.byFileLine[diag.Pos.Filename]
 	if m == nil {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, names := range m[line] {
-			if names == "all" {
-				return true
-			}
-			for _, name := range strings.Split(names, ",") {
-				if name == d.Analyzer {
-					return true
-				}
-			}
+	hit := false
+	for _, d := range m[diag.Pos.Line] {
+		if d.matches(diag.Analyzer) {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns one "lint" diagnostic per directive that suppressed
+// nothing — a stale ignore is a contract hole: the justified violation
+// is gone, but the exemption would silently swallow the next one.
+// Directives whose analyzers were not part of this run are skipped;
+// "all" directives are only checked when every registered analyzer ran.
+func (s *suppressions) unused(run map[string]bool, fullRun bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.dirs {
+		if d.used {
+			continue
+		}
+		if d.names == "all" {
+			if !fullRun {
+				continue
+			}
+		} else {
+			ran := true
+			for _, name := range strings.Split(d.names, ",") {
+				if !run[name] {
+					ran = false
+					break
+				}
+			}
+			if !ran {
+				continue
+			}
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "lint",
+			Message:  "unused //lint:ignore directive: no " + d.names + " diagnostic here to suppress (delete it, or it will mask the next real finding)",
+		})
+	}
+	return out
+}
+
+// fileCodeLines returns the sorted, deduplicated lines of f on which
+// non-comment syntax begins. Comment groups and the comments attached to
+// declarations are excluded, so "the first following non-comment line"
+// of a directive can be computed by binary search.
+func fileCodeLines(fset *token.FileSet, f *ast.File) []int {
+	var lines []int
+	last := -1
+	record := func(pos token.Pos) {
+		if !pos.IsValid() {
+			return
+		}
+		if line := fset.Position(pos).Line; line != last {
+			lines = append(lines, line)
+			last = line
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		record(n.Pos())
+		return true
+	})
+	// Inspect visits in source order except for out-of-order Doc groups,
+	// which are skipped, so lines is already sorted; dedup handled above.
+	return lines
+}
+
+// firstLineAfter returns the smallest code line strictly greater than
+// line, or 0.
+func firstLineAfter(codeLines []int, line int) int {
+	lo, hi := 0, len(codeLines)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codeLines[mid] <= line {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(codeLines) {
+		return codeLines[lo]
+	}
+	return 0
 }

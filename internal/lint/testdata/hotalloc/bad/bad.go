@@ -1,0 +1,37 @@
+// Package fixture exercises the hotalloc analyzer: hot is a
+// //lint:hotpath root, and the helpers it reaches allocate in every way
+// the analyzer knows about.
+package fixture
+
+import "fmt"
+
+type doer interface{ do() int }
+
+// hot is the fixture's event-dispatch loop.
+//
+//lint:hotpath fixture: steady-state dispatch root
+func hot(vals []int, d doer) int {
+	total := 0
+	for _, v := range vals {
+		total += process(v)
+	}
+	total += d.do()
+	return total
+}
+
+// process is reachable from hot and allocates.
+func process(v int) int {
+	buf := make([]int, v)
+	buf = append(buf, v)
+	s := fmt.Sprint(v)
+	f := spawn(v)
+	return len(buf) + len(s) + f()
+}
+
+// spawn returns a capturing closure — a heap-allocated environment.
+func spawn(v int) func() int {
+	return func() int { return v }
+}
+
+//lint:hotpath this directive is attached to a var, not a function
+var sink int

@@ -1,0 +1,48 @@
+// Package fixture is the conforming hotalloc counterpart: the hot path
+// only moves stack values, allocation on the failure path is exempt, a
+// justified growth site is suppressed, and cold helpers may allocate
+// freely.
+package fixture
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+// hot advances a ring index without allocating.
+//
+//lint:hotpath fixture: steady-state dispatch root
+func hot(ring []int, idx int, cb func(int)) int {
+	x := step(ring, idx)
+	if x < 0 {
+		panic(fmt.Sprintf("bad value at %d", idx)) // failure path: exempt
+	}
+	cb(x) // call through a parameter: checked at the creation site
+	return x
+}
+
+func step(ring []int, i int) int {
+	j := i + 1
+	if j == len(ring) {
+		j = 0
+	}
+	p := pair{a: ring[j], b: j} // struct value literal: stack-allocated
+	return p.a + warm(ring, p.b)
+}
+
+// warm grows a pre-sized buffer once at startup; the growth is justified
+// and suppressed.
+func warm(buf []int, v int) int {
+	//lint:ignore hotalloc fixture: one-time warm-up growth, amortized to zero
+	buf = append(buf, v)
+	return buf[len(buf)-1]
+}
+
+// cold is not reachable from any hotpath root, so its allocations are of
+// no interest to the analyzer.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the jsoncontract analyzer: a response type
+// with every nondeterministic field kind, reached through a forwarding
+// sink, plus a handler that fabricates its own context.
+package fixture
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/internal/service/fixture/http"
+)
+
+// report is the marshaled response type; all four field kinds violate
+// byte-determinism.
+type report struct {
+	Name    string         `json:"name"`
+	Took    time.Time      `json:"took"`
+	Load    float64        `json:"load"`
+	Peak    float64        `json:"peak"`
+	Extra   map[string]any `json:"extra"`
+	Payload interface{}    `json:"payload"`
+}
+
+// writeJSON is a forwarding sink: its interface-typed v parameter flows
+// into json.Marshal, so argument types at its call sites are roots.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// handleReport fabricates a fresh context instead of propagating the
+// request's, and reaches context-aware code without calling r.Context().
+func handleReport(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	writeJSON(w, buildReport(ctx))
+}
+
+func buildReport(ctx context.Context) report {
+	_ = ctx.Err()
+	return report{Name: "fixture", Took: time.Unix(0, 0)}
+}

@@ -1,0 +1,56 @@
+// Package fixture is the conforming jsoncontract counterpart: fixed
+// float formatting via a ,string tag and a json.Marshaler, sorted-key
+// maps with concrete value types, a handler that propagates r.Context(),
+// and one justified suppression for a frozen wire format.
+package fixture
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+
+	"repro/internal/service/fixture/http"
+)
+
+// stats is the marshaled response type.
+type stats struct {
+	Jobs   int            `json:"jobs"`
+	Rates  []fixedFloat   `json:"rates"`
+	ByNode map[string]int `json:"by_node"`
+	Score  float64        `json:"score,string"`
+	Old    legacy         `json:"old"`
+}
+
+// fixedFloat renders with a fixed formatter, so its bytes never depend
+// on encoding/json's shortest-representation float path.
+type fixedFloat float64
+
+func (f fixedFloat) MarshalJSON() ([]byte, error) {
+	return strconv.AppendFloat(nil, float64(f), 'f', 6, 64), nil
+}
+
+// legacy predates the formatter rule; its wire format is frozen by the
+// v0 clients, so the violation is documented and suppressed.
+//
+//lint:ignore jsoncontract fixture: frozen v0 wire format, bytes pinned by golden tests
+type legacy struct {
+	Mean float64 `json:"mean"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// handleStats derives all downstream work from the request context.
+func handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, collect(r.Context()))
+}
+
+func collect(ctx context.Context) stats {
+	_ = ctx.Err()
+	return stats{Jobs: 1}
+}

@@ -1,0 +1,16 @@
+// Package http stubs the two net/http types the jsoncontract analyzer
+// matches by package and type name, so the fixtures type-check without
+// pulling the real net/http dependency tree through the source importer.
+package http
+
+import "context"
+
+type ResponseWriter interface {
+	Write(p []byte) (int, error)
+}
+
+type Request struct {
+	ctx context.Context
+}
+
+func (r *Request) Context() context.Context { return r.ctx }

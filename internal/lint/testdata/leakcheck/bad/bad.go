@@ -1,0 +1,27 @@
+// Package fixture exercises the leakcheck analyzer: goroutines with no
+// join or cancellation protocol, spawned directly and through a
+// same-package callee.
+package fixture
+
+import "time"
+
+// poll spawns an unbounded polling loop nothing can stop.
+func poll() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// spin launches a same-package function whose body has no termination
+// signal either.
+func spin() {
+	go loop()
+}
+
+func loop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

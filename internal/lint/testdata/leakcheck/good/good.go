@@ -1,0 +1,62 @@
+// Package fixture is the conforming leakcheck counterpart: every
+// goroutine is joinable (WaitGroup), drains a closable channel, hands a
+// semaphore slot back, or polls its context — plus one justified
+// process-lifetime exception.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// workers is the canonical Add-before-go + Done pattern.
+func workers(ctx context.Context, n int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+		}()
+	}
+	return &wg
+}
+
+// drain exits when the channel is closed.
+func drain(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// limited hands its semaphore slot back when finished.
+func limited(sem chan struct{}) {
+	go func() {
+		sem <- struct{}{}
+		<-sem
+	}()
+}
+
+// watcher runs a ctx-cancellable loop.
+func watcher(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			_ = ctx
+		}
+	}()
+}
+
+// telemetry is a process-lifetime goroutine by design; the exemption is
+// documented.
+func telemetry(samples chan<- int) {
+	//lint:ignore leakcheck fixture: process-lifetime telemetry loop, dies with the process
+	go background()
+}
+
+func background() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture pins both sanctioned //lint:ignore placements: a
+// trailing directive on the offending line, and a directive on its own
+// line with a blank line between it and the statement it justifies (the
+// placement the line-of-comment-group matching used to miss).
+package fixture
+
+// eqTrailing suppresses with a same-line trailing directive.
+func eqTrailing(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture: exact comparison is the point here
+}
+
+// eqSeparated suppresses with a directive separated from the statement
+// by a blank line.
+func eqSeparated(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact comparison is the point here
+
+	return a == b
+}

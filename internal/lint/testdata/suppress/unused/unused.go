@@ -1,0 +1,20 @@
+// Package fixture pins the unused-ignore diagnostic: one directive that
+// suppresses a real finding, and one left behind after the violation it
+// justified was fixed.
+package fixture
+
+// eq still violates floatcmp; its directive is used.
+func eq(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact comparison is the point here
+	return a == b
+}
+
+// abs no longer compares floats for equality, so this directive
+// suppresses nothing and must be reported.
+func abs(x float64) float64 {
+	//lint:ignore floatcmp fixture: stale — the equality comparison is gone
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -21,6 +21,8 @@ import (
 )
 
 // Report bundles every mapping-quality measure for one placement.
+//
+//lint:ignore jsoncontract float fields marshal via Go's shortest-form strconv — deterministic for identical inputs; wire bytes pinned by cache equality and golden tests
 type Report struct {
 	// HopBytes is Σ c_ab · d(P(a), P(b)) — the paper's metric.
 	HopBytes float64

@@ -22,11 +22,13 @@ func (n *Network) onAdapt(pi int32) {
 		n.packetDone(mi)
 		return
 	}
+	//lint:ignore hotalloc Topology.Distance implementations are arithmetic on coordinates; zero-alloc pinned by BenchmarkNetsim allocs/op
 	distCur := n.cfg.Topology.Distance(cur, dst)
 	next, nextLink := -1, int32(-1)
 	var bestFree float64
 	for i := n.nbrOff[cur]; i < n.nbrOff[cur+1]; i++ {
 		u := int(n.nbrNode[i])
+		//lint:ignore hotalloc Topology.Distance implementations are arithmetic on coordinates; zero-alloc pinned by BenchmarkNetsim allocs/op
 		if n.cfg.Topology.Distance(u, dst) != distCur-1 {
 			continue
 		}

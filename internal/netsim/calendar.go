@@ -63,6 +63,7 @@ func (q *calQueue) init(events []event) {
 			q.buckets[i] = q.buckets[i][:0]
 		}
 	} else {
+		//lint:ignore hotalloc bucket-count growth happens on resize events, not per event; steady state reuses buckets
 		q.buckets = make([][]event, nb)
 	}
 	q.mask = int64(nb - 1)
@@ -119,6 +120,7 @@ func (q *calQueue) push(ev event) {
 		q.curVB = vb
 	}
 	bi := int(vb & q.mask)
+	//lint:ignore hotalloc bucket storage reaches steady-state capacity during warm-up; append then never grows
 	b := append(q.buckets[bi], ev)
 	// Sift up within the bucket heap.
 	i := len(b) - 1
@@ -141,6 +143,7 @@ func (q *calQueue) push(ev event) {
 func (q *calQueue) regrow() {
 	all := q.scratch[:0]
 	for i := range q.buckets {
+		//lint:ignore hotalloc regrow is a rare resize event; the scratch buffer reaches capacity once
 		all = append(all, q.buckets[i]...)
 	}
 	q.init(all)

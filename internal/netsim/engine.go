@@ -173,6 +173,8 @@ func (e *Engine) pop() (event, bool) {
 
 // Run processes events until the queue is empty and returns the final
 // simulation time.
+//
+//lint:hotpath netsim steady state: event dispatch, packet, buffered and wormhole paths (BenchmarkNetsim*)
 func (e *Engine) Run() float64 {
 	for {
 		ev, ok := e.pop()
@@ -183,6 +185,7 @@ func (e *Engine) Run() float64 {
 		e.processed++
 		switch ev.kind {
 		case evFunc:
+			//lint:ignore hotalloc evFunc callbacks inject traffic from drivers outside the steady-state loop; packet-path allocs/op pinned at 0 by benchmarks
 			ev.fn()
 		case evSelf:
 			ev.net.onSelf(ev.idx)
@@ -231,12 +234,14 @@ func (e *Engine) switchToCalendar() {
 // when the pending count falls low enough that heap ops are cheaper than
 // bucket scans).
 func (e *Engine) switchToHeap() {
+	//lint:ignore hotalloc one closure per queue-mode switch, not per event
 	e.cal.drainTo(func(ev event) { e.heapPush(ev) })
 	e.inCal = false
 }
 
 // heapPush inserts ev into the flat binary heap.
 func (e *Engine) heapPush(ev event) {
+	//lint:ignore hotalloc heap storage reaches steady-state capacity during warm-up; append then never grows
 	h := append(e.heap, ev)
 	i := len(h) - 1
 	for i > 0 {

@@ -121,5 +121,6 @@ func (w *whNetwork) allocWorm(hops int) int32 {
 // freeWormSlot returns a worm record to the pool, keeping its counter
 // storage.
 func (w *whNetwork) freeWormSlot(wi int32) {
+	//lint:ignore hotalloc free-list capacity equals the worm pool size; append never grows after warm-up
 	w.freeWorm = append(w.freeWorm, wi)
 }

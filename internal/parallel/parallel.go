@@ -46,6 +46,8 @@ func workers(nchunks int) int {
 // [0, n), in parallel. fn must only write state disjoint across indices;
 // under that contract the result is identical to the serial loop
 // fn(0, n) regardless of worker count.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func For(n, grain int, fn func(lo, hi int)) {
 	nchunks, grain := chunks(n, grain)
 	if nchunks == 0 {
@@ -60,6 +62,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
+		//lint:ignore hotalloc one worker goroutine and closure per call, amortized over the n-element loop; the per-index path is allocation-free
 		go func() {
 			defer wg.Done()
 			for {
@@ -84,6 +87,8 @@ func For(n, grain int, fn func(lo, hi int)) {
 // ascending chunk order. Because the partition depends only on n and grain,
 // the result — floating-point association included — is bit-identical for
 // every worker count. Reduce returns the zero value of T when n <= 0.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func Reduce[T any](n, grain int, chunk func(lo, hi int) T, merge func(acc, next T) T) T {
 	var zero T
 	nchunks, grain := chunks(n, grain)
@@ -103,7 +108,9 @@ func Reduce[T any](n, grain int, chunk func(lo, hi int) T, merge func(acc, next 
 		}
 		return acc
 	}
+	//lint:ignore hotalloc one partial-results slice per call, amortized over the n-element reduction
 	partial := make([]T, nchunks)
+	//lint:ignore hotalloc O(1) capturing closure per call; chunk bodies run allocation-free
 	For(n, grain, func(lo, hi int) {
 		partial[lo/grain] = chunk(lo, hi)
 	})
@@ -119,11 +126,15 @@ func Reduce[T any](n, grain int, chunk func(lo, hi int) T, merge func(acc, next 
 // output is identical to the serial loop for any worker count; fn itself
 // must not depend on evaluation order. Grain trades scheduling overhead
 // against load balance exactly as in For.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func Map[R any](n, grain int, fn func(i int) R) []R {
 	if n <= 0 {
 		return nil
 	}
+	//lint:ignore hotalloc the result slice is the kernel's contract; one allocation per call
 	out := make([]R, n)
+	//lint:ignore hotalloc O(1) capturing closure per call; the per-index path is allocation-free
 	For(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = fn(i)
@@ -147,10 +158,13 @@ type argResult struct {
 //	if best < 0 || v > bestVal { best, bestVal = i, v }
 //
 // ArgMax returns (-1, 0) when no index qualifies.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func ArgMax(n, grain int, f func(i int) (float64, bool)) (int, float64) {
 	if n <= 0 {
 		return -1, 0
 	}
+	//lint:ignore hotalloc O(1) capturing closure per call; scan bodies use stack argResult values only
 	r := Reduce(n, grain, func(lo, hi int) argResult {
 		best := argResult{idx: -1}
 		for i := lo; i < hi; i++ {
@@ -173,10 +187,13 @@ func ArgMax(n, grain int, f func(i int) (float64, bool)) (int, float64) {
 
 // ArgMin is ArgMax with the comparison reversed: the lowest index with the
 // strictly smallest value wins.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func ArgMin(n, grain int, f func(i int) (float64, bool)) (int, float64) {
 	if n <= 0 {
 		return -1, 0
 	}
+	//lint:ignore hotalloc O(1) capturing closure per call; scan bodies use stack argResult values only
 	r := Reduce(n, grain, func(lo, hi int) argResult {
 		best := argResult{idx: -1}
 		for i := lo; i < hi; i++ {
@@ -203,6 +220,8 @@ func ArgMin(n, grain int, f func(i int) (float64, bool)) (int, float64) {
 // found so far are skipped, and within a chunk evaluation stops at the
 // first hit, so the total work is close to the serial prefix scan plus
 // bounded speculation.
+//
+//lint:hotpath parallel kernel body: per-index path must stay allocation-free at any GOMAXPROCS
 func First(n, grain int, pred func(i int) bool) int {
 	nchunks, grain := chunks(n, grain)
 	if nchunks == 0 {
@@ -223,6 +242,7 @@ func First(n, grain int, pred func(i int) bool) int {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
+		//lint:ignore hotalloc one worker goroutine and closure per call, amortized over the n-element loop; the per-index path is allocation-free
 		go func() {
 			defer wg.Done()
 			for {

@@ -176,6 +176,8 @@ type submitResponse struct {
 
 // handleSubmit serves POST /v1/jobs: validate, assign an id, and compute
 // in the background under the server's lifetime (not the request's).
+//
+//lint:ignore jsoncontract async jobs outlive the request by design: work runs under the server lifetime context, and /v1/jobs/{id} serves the result later
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	data, release, err := s.readBody(r)
 	if err != nil {

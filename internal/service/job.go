@@ -97,6 +97,8 @@ type SimSpec struct {
 // JobResult is the response body for one completed job. Field order is
 // the wire order; the body is cached and must be identical to what a
 // direct library call would produce.
+//
+//lint:ignore jsoncontract float fields marshal via Go's shortest-form strconv — deterministic for identical inputs; wire bytes pinned by cache equality and golden tests
 type JobResult struct {
 	Strategy    string  `json:"strategy"`
 	Topology    string  `json:"topology"`
@@ -115,6 +117,8 @@ type JobResult struct {
 }
 
 // SimResult carries the netsim evaluation outputs.
+//
+//lint:ignore jsoncontract float fields marshal via Go's shortest-form strconv — deterministic for identical inputs; wire bytes pinned by cache equality and golden tests
 type SimResult struct {
 	CompletionTime float64      `json:"completion_time"`
 	Stats          netsim.Stats `json:"stats"`
