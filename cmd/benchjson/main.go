@@ -9,6 +9,12 @@
 //     "baseline" = the frozen pre-rewrite core in internal/netsim/legacy,
 //     "optimized" = the typed-event engine with calendar queue and pooled
 //     packet state. Optimized entries carry events_per_sec.
+//   - suite "multilevel" (BENCH_multilevel.json): the hierarchical
+//     mapper at scale, "baseline" = the flat two-phase pipeline
+//     (partition + TopoLB on the quotient), "optimized" =
+//     core.MultilevelMap. Optimized rows carry hop_bytes_ratio
+//     (multilevel ÷ flat) where the flat pipeline completes; the
+//     million-task headline row is optimized-only.
 //   - suite "service" (BENCH_service.json): the topomapd HTTP service
 //     under load, "cold" = every request a distinct job (computes),
 //     "warm" = one job repeated (result-cache hits). Records QPS, p50/p99
@@ -16,7 +22,7 @@
 //
 // Usage:
 //
-//	benchjson [-suite mapping|netsim|service] [-out FILE] [-quick] [-smoke]
+//	benchjson [-suite mapping|netsim|multilevel|service] [-out FILE] [-quick] [-smoke]
 //
 // Regenerate the matching BENCH_*.json after touching a suite's kernels;
 // the speedup column of the optimized entries against their baseline
@@ -49,6 +55,9 @@ type Result struct {
 	Iterations   int     `json:"iterations"`
 	Speedup      float64 `json:"speedup_vs_baseline,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// HopBytesRatio is multilevel ÷ flat hop-bytes on multilevel-suite
+	// optimized rows: the quality cost of the hierarchical shortcut.
+	HopBytesRatio float64 `json:"hop_bytes_ratio,omitempty"`
 }
 
 // Report is the top-level BENCH_mapping.json document. GOMAXPROCS and
@@ -167,10 +176,10 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | service")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
-	smoke := flag.Bool("smoke", false, "netsim/service suites: tiny CI subset, write nothing unless -out is set")
+	smoke := flag.Bool("smoke", false, "netsim/multilevel/service suites: tiny CI subset, write nothing unless -out is set")
 	flag.Parse()
 
 	var results []Result
@@ -179,6 +188,8 @@ func main() {
 		results = runMappingSuite(*quick)
 	case "netsim":
 		results = runNetsimSuite(*quick, *smoke)
+	case "multilevel":
+		results = runMultilevelSuite(*quick, *smoke)
 	case "service":
 		// The service suite measures a load grid (QPS, latency percentiles,
 		// cache hit rates), not ns/op micro-benchmarks, so it writes its own

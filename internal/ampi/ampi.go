@@ -228,7 +228,9 @@ func (j *Job) Run(iterations int) (emulator.Result, error) { return j.RT.Run(ite
 // migration via the LB framework). Returns migrated rank count.
 func (j *Job) Rebalance(part partition.Partitioner, strat core.Strategy) (int, error) {
 	if part == nil {
-		part = partition.Multilevel{}
+		// Match the service's default seed (1) so an unseeded Rebalance
+		// reproduces what a seed-1 mapping job would compute.
+		part = partition.Multilevel{Seed: 1}
 	}
 	if strat == nil {
 		strat = core.RefineTopoLB{Base: core.TopoLB{}}

@@ -77,22 +77,31 @@ func ParseAnyTopology(spec string) (topology.Topology, error) {
 // ParsePattern parses a task-graph pattern spec:
 //
 //	mesh2d:RX,RY | mesh3d:RX,RY,RZ | ring:N | alltoall:N |
-//	torus2d:RX,RY | leanmd:P | random:N,M | stencil9:RX,RY |
+//	torus2d:RX,RY | leanmd:P | random:N,M | rgg:N,DEG | stencil9:RX,RY |
 //	transpose:N | bintree:N | butterfly:STAGES | wavefront:RX,RY
 //
-// msg sets the per-edge bytes; seed drives randomized generators.
+// msg sets the per-edge bytes; seed drives randomized generators. rgg is
+// the cell-bucketed random geometric graph with target average degree
+// DEG, cheap enough for million-task instances.
 func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error) {
 	kind, args, err := splitSpec(spec)
 	if err != nil {
 		return nil, err
 	}
 	// Bound the requested size before handing extents to the builders
-	// (which panic on non-positive extents by contract).
+	// (which panic on non-positive extents by contract). rgg's second
+	// argument is an average degree, not a size factor.
+	sizeArgs := args
+	if kind == "rgg" && len(args) == 2 {
+		sizeArgs = args[:1]
+	}
 	size := 1
 	for _, a := range args {
 		if a < 1 {
 			return nil, fmt.Errorf("cliutil: pattern extent %d must be >= 1", a)
 		}
+	}
+	for _, a := range sizeArgs {
 		if size > 1<<22/a {
 			return nil, fmt.Errorf("cliutil: pattern %q too large (> 2^22 tasks)", spec)
 		}
@@ -113,6 +122,8 @@ func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error
 		return taskgraph.LeanMD(args[0], msg, seed), nil
 	case kind == "random" && len(args) == 2:
 		return taskgraph.Random(args[0], args[1], msg/2, msg, seed), nil
+	case kind == "rgg" && len(args) == 2:
+		return taskgraph.RandomGeometricDeg(args[0], args[1], msg, seed), nil
 	case kind == "stencil9" && len(args) == 2:
 		return taskgraph.Stencil9(args[0], args[1], msg), nil
 	case kind == "transpose" && len(args) == 1:
@@ -131,8 +142,8 @@ func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error
 // StrategyNames lists the names ParseStrategy accepts.
 func StrategyNames() []string {
 	return []string{"topolb", "topolb1", "topolb3", "topolb+refine",
-		"topocentlb", "random", "identity", "bokhari", "annealing",
-		"genetic", "arm", "hybrid:BXxBY[x...]"}
+		"topocentlb", "multilevel", "random", "identity", "bokhari",
+		"annealing", "genetic", "arm", "hybrid:BXxBY[x...]"}
 }
 
 // ParseStrategy resolves a strategy name (see StrategyNames). The hybrid
@@ -161,6 +172,8 @@ func ParseStrategy(name string, seed int64) (core.Strategy, error) {
 		return core.RefineTopoLB{Base: core.TopoLB{}}, nil
 	case "topocentlb":
 		return core.TopoCentLB{}, nil
+	case "multilevel":
+		return core.MultilevelMap{}, nil
 	case "random":
 		return core.Random{Seed: seed}, nil
 	case "identity":

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// This file implements hierarchical (multilevel) mapping: coarsen the task
+// graph by repeated heavy-edge matching, map the coarsest graph with an
+// ordinary p==n strategy, then uncoarsen level by level with bounded local
+// refinement. The refinement metric is the hop-bytes delta computed from
+// closed-form Topology.Distance calls only — no O(p²) DistanceMatrix is
+// ever materialized on this path — so million-task graphs map onto
+// hundred-thousand-node machines in O(n + |E|) memory.
+//
+// Placement model. Tasks occupy a linear slot space [0, n). Processor
+// q owns the contiguous slot block [⌈q·n/p⌉, ⌈(q+1)·n/p⌉), so every
+// processor receives ⌊n/p⌋ or ⌈n/p⌉ tasks (a bijection when n == p), and
+// slot→processor is the closed form s·p/n. Processors are laid along the
+// slot axis in a locality order (recursive coordinate bisection for
+// Coordinated topologies), so slot-adjacent blocks are topology-near.
+// Every hierarchy vertex holds a contiguous slot run; refinement swaps
+// equal-population runs between vertices.
+
+// Placer is implemented by strategies that can place n >= p tasks
+// directly onto p processors (a surjection, several tasks per processor)
+// without a separate partitioning phase. MapTasks uses it to bypass the
+// partition+map pipeline.
+type Placer interface {
+	Strategy
+	// Place returns placement[task] = processor, with every processor
+	// receiving at least one task.
+	Place(g *taskgraph.Graph, t topology.Topology) ([]int, error)
+}
+
+// MultilevelMap is the hierarchical coarsen→map→refine strategy. The zero
+// value is ready to use.
+type MultilevelMap struct {
+	// CoarsenTo stops coarsening once a level has at most this many
+	// vertices. Default min(2p, 1024) — small enough that the coarse
+	// strategy's superquadratic cost stays in the tens of milliseconds.
+	CoarsenTo int
+	// RefinePasses bounds the refinement sweeps per uncoarsening level.
+	// 0 means the default (2); negative disables refinement.
+	RefinePasses int
+	// Coarse maps the coarsest graph; nil means TopoLB{}.
+	Coarse Strategy
+}
+
+var _ Placer = MultilevelMap{}
+
+// Name implements Strategy.
+func (s MultilevelMap) Name() string { return "Multilevel" }
+
+// Map implements Strategy for the n == p case; the result is a bijection.
+func (s MultilevelMap) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	if err := checkSizes(g, t); err != nil {
+		return nil, err
+	}
+	placement, err := s.Place(g, t)
+	if err != nil {
+		return nil, err
+	}
+	return Mapping(placement), nil
+}
+
+// Place implements Placer for any n >= p. The result is byte-identical at
+// any GOMAXPROCS: every parallel phase is a pure per-index computation
+// merged in index order, and every tie breaks toward the lowest index.
+func (s MultilevelMap) Place(g *taskgraph.Graph, t topology.Topology) ([]int, error) {
+	n, p := g.NumVertices(), t.Nodes()
+	if n < p {
+		return nil, fmt.Errorf("core: %d tasks cannot cover %d processors", n, p)
+	}
+	// The coarsest graph may be smaller than p: chunks are slot ranges,
+	// and slot→processor stays surjective regardless of the chunk count,
+	// so the coarse strategy's superquadratic cost is bounded by the cap
+	// even on hundred-thousand-node machines.
+	target := s.CoarsenTo
+	if target <= 0 {
+		target = 2 * p
+		if target > 1024 {
+			target = 1024
+		}
+	}
+
+	procOrder := localityOrder(t)
+
+	// Coarsen. levels[0] is the input graph; levels[i] contracts
+	// levels[i-1] via h.Cmaps[i-1].
+	h := partition.BuildHierarchy(g, partition.HierarchyOptions{CoarsenTo: target})
+	levels := make([]*partition.CGraph, 1+len(h.Levels))
+	levels[0] = partition.FromTaskGraph(g)
+	copy(levels[1:], h.Levels)
+	coarsest := levels[len(levels)-1]
+	nc := coarsest.N
+
+	// Map the coarsest graph with the ordinary n==p machinery, viewing the
+	// nc equal slot chunks through their center-slot representative
+	// processors. The adapter is Ephemeral: nothing materializes a matrix.
+	coarse := s.Coarse
+	if coarse == nil {
+		coarse = TopoLB{}
+	}
+	cm, err := coarse.Map(coarseTaskGraph(coarsest), newRepTopology(t, procOrder, n, p, nc))
+	if err != nil {
+		return nil, fmt.Errorf("core: multilevel coarse mapping: %w", err)
+	}
+
+	// Re-pack: lay the coarse vertices along the slot axis in the order of
+	// their assigned chunks, each occupying a run of Tcount slots.
+	ord := make([]int32, nc)
+	for v, c := range cm {
+		ord[c] = int32(v)
+	}
+	start := make([]int32, nc)
+	cursor := int32(0)
+	for _, v := range ord {
+		start[v] = cursor
+		cursor += coarsest.TcountOf(v)
+	}
+
+	passes := s.RefinePasses
+	if passes == 0 {
+		passes = 2
+	}
+	r := newMLRefiner(t, procOrder, n, p)
+	r.setLevel(coarsest, start)
+	r.refine(passes)
+	for li := len(levels) - 2; li >= 0; li-- {
+		start = projectLevel(t, procOrder, n, p, levels[li], levels[li+1], h.Cmaps[li], start)
+		r.setLevel(levels[li], start)
+		r.refine(passes)
+	}
+
+	placement := make([]int, n)
+	for v := range placement {
+		placement[v] = int(procOrder[slotProc(start[v], n, p)])
+	}
+	return placement, nil
+}
+
+// slotProc returns the processor-order index owning slot s: s·p/n.
+func slotProc(s int32, n, p int) int32 {
+	return int32(int64(s) * int64(p) / int64(n))
+}
+
+// firstSlot returns the first slot owned by processor-order index q:
+// ⌈q·n/p⌉. Non-empty for every q when n >= p.
+func firstSlot(q int32, n, p int) int32 {
+	return int32((int64(q)*int64(n) + int64(p) - 1) / int64(p))
+}
+
+// localityOrder returns a permutation of processor ranks such that ranks
+// close in the order are close in the topology. Coordinated topologies
+// (meshes, tori) get a recursive bisection along the longest dimension;
+// everything else keeps rank order, which already clusters hypercube
+// subcubes and fat-tree subtrees.
+func localityOrder(t topology.Topology) []int32 {
+	p := t.Nodes()
+	order := make([]int32, 0, p)
+	co, ok := t.(topology.Coordinated)
+	if !ok {
+		for q := 0; q < p; q++ {
+			order = append(order, int32(q))
+		}
+		return order
+	}
+	dims := co.Dims()
+	buf := make([]int, len(dims))
+	var rec func(lo, hi []int)
+	rec = func(lo, hi []int) {
+		// Split the longest dimension with extent > 1 (lowest index on
+		// ties); a unit box emits its rank.
+		d, ext := -1, 1
+		for i := range lo {
+			if e := hi[i] - lo[i]; e > ext {
+				d, ext = i, e
+			}
+		}
+		if d < 0 {
+			copy(buf, lo)
+			order = append(order, int32(co.Rank(buf)))
+			return
+		}
+		mid := lo[d] + ext/2
+		hiA := append([]int(nil), hi...)
+		hiA[d] = mid
+		loB := append([]int(nil), lo...)
+		loB[d] = mid
+		rec(lo, hiA)
+		rec(loB, hi)
+	}
+	rec(make([]int, len(dims)), append([]int(nil), dims...))
+	return order
+}
+
+// coarseTaskGraph converts a hierarchy level to a taskgraph.Graph so the
+// ordinary strategies can map it.
+func coarseTaskGraph(c *partition.CGraph) *taskgraph.Graph {
+	b := taskgraph.NewBuilder(c.N)
+	for v := 0; v < c.N; v++ {
+		b.SetVertexWeight(v, c.Vwgt[v])
+		for i := c.Xadj[v]; i < c.Xadj[v+1]; i++ {
+			if u := c.Adjncy[i]; int32(v) < u {
+				b.AddEdge(v, int(u), c.Adjwgt[i])
+			}
+		}
+	}
+	return b.Build("multilevel-coarse")
+}
+
+// repTopology views nc equal slot chunks through their center-slot
+// representative processors, so a p==n strategy can map the coarsest graph
+// without ever seeing the full machine. Distances delegate to the real
+// topology; the adapter is Ephemeral because its distance function depends
+// on n and the chunk layout, not just its name.
+type repTopology struct {
+	t    topology.Topology
+	reps []int
+	name string
+}
+
+func newRepTopology(t topology.Topology, procOrder []int32, n, p, nc int) *repTopology {
+	reps := make([]int, nc)
+	for i := range reps {
+		// Center slot of chunk i (chunks are [i·n/nc, (i+1)·n/nc)).
+		center := int32((2*int64(i) + 1) * int64(n) / (2 * int64(nc)))
+		reps[i] = int(procOrder[slotProc(center, n, p)])
+	}
+	return &repTopology{t: t, reps: reps, name: fmt.Sprintf("mlrep(%s,nc=%d)", t.Name(), nc)}
+}
+
+// EphemeralTopology marks the adapter as non-cacheable.
+func (r *repTopology) EphemeralTopology() {}
+
+var _ topology.Ephemeral = (*repTopology)(nil)
+
+func (r *repTopology) Nodes() int   { return len(r.reps) }
+func (r *repTopology) Name() string { return r.name }
+
+func (r *repTopology) Distance(a, b int) int {
+	return r.t.Distance(r.reps[a], r.reps[b])
+}
+
+// Neighbors returns nil: chunk adjacency has no useful machine meaning,
+// and the coarse strategies (TopoLB, TopoCentLB) never consult it.
+func (r *repTopology) Neighbors(a int) []int { return nil }
+
+// projectLevel pushes a coarse slot layout down one level: each coarse
+// vertex's slot run is split between its (at most two) children. The
+// child order inside the run is chosen by comparing the approximate
+// hop-bytes of both orders against the frozen parent-level layout; ties
+// keep the lower-index child first. Pure per-coarse-vertex work, evaluated
+// in parallel.
+func projectLevel(t topology.Topology, procOrder []int32, n, p int,
+	fine, coarse *partition.CGraph, cmap []int32, cstart []int32) []int32 {
+	// Children of each coarse vertex in ascending fine order.
+	childA := make([]int32, coarse.N)
+	childB := make([]int32, coarse.N)
+	for i := range childA {
+		childA[i] = -1
+		childB[i] = -1
+	}
+	for v := int32(0); v < int32(fine.N); v++ {
+		c := cmap[v]
+		if childA[c] < 0 {
+			childA[c] = v
+		} else {
+			childB[c] = v
+		}
+	}
+	// Frozen parent-level representative of a fine vertex's neighborhood.
+	parentRep := func(u int32) int32 {
+		c := cmap[u]
+		return procOrder[slotProc(cstart[c]+coarse.TcountOf(c)/2, n, p)]
+	}
+	// Approximate cost of placing fine vertex v at rep processor pv,
+	// against parent-level reps; the v–sib edge is order-invariant inside
+	// the run and skipped.
+	halfCost := func(v, sib, pv int32) float64 {
+		cost := 0.0
+		for i := fine.Xadj[v]; i < fine.Xadj[v+1]; i++ {
+			u := fine.Adjncy[i]
+			if u == sib {
+				continue
+			}
+			cost += fine.Adjwgt[i] * float64(t.Distance(int(pv), int(parentRep(u))))
+		}
+		return cost
+	}
+	fstart := make([]int32, fine.N)
+	parallel.For(coarse.N, 256, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			a, b := childA[c], childB[c]
+			s := cstart[c]
+			if b < 0 {
+				fstart[a] = s
+				continue
+			}
+			ta, tb := fine.TcountOf(a), fine.TcountOf(b)
+			rep := func(at, tc int32) int32 {
+				return procOrder[slotProc(at+tc/2, n, p)]
+			}
+			costAB := halfCost(a, b, rep(s, ta)) + halfCost(b, a, rep(s+ta, tb))
+			costBA := halfCost(a, b, rep(s+tb, ta)) + halfCost(b, a, rep(s, tb))
+			if costBA < costAB {
+				fstart[a], fstart[b] = s+tb, s
+			} else {
+				fstart[a], fstart[b] = s, s+ta
+			}
+		}
+	})
+	return fstart
+}
+
+// swapEps is the minimum hop-bytes improvement a refinement swap must
+// deliver; it absorbs float accumulation noise so passes terminate.
+const swapEps = 1e-12
+
+// proposeGrain is the fixed chunk size of the parallel proposal sweep.
+const proposeGrain = 64
+
+// distKind selects the refiner's distance fast path, chosen once per
+// Place call. Interface dispatch plus rank decomposition costs more than
+// the whole remaining per-edge work, so grids get a precomputed
+// coordinate table and hypercubes a popcount; everything else calls
+// Topology.Distance.
+type distKind uint8
+
+const (
+	distGeneric distKind = iota
+	distGrid
+	distHypercube
+)
+
+// mlRefiner runs bounded local refinement on one hierarchy level: each
+// pass proposes equal-population slot-run swaps in parallel against the
+// frozen layout, then commits them serially in ascending vertex order,
+// revalidating each delta against the live layout so the level's
+// surrogate hop-bytes strictly decreases. At the finest level the
+// surrogate (center-slot representative distance) is the exact hop-bytes.
+type mlRefiner struct {
+	t         topology.Topology
+	procOrder []int32
+	n, p      int
+	lvl       *partition.CGraph
+	start     []int32
+	slotOwner []int32 // slot → owning vertex, len n
+	proposals []int32 // per-vertex swap partner, -1 = none
+	repc      []int32 // per-vertex representative processor cache
+	dirty     []bool  // vertices whose neighborhood changed last commit
+	scanAll   bool    // first pass of a level scans every vertex
+
+	kind   distKind
+	nd     int     // grid dimensionality
+	dims   []int32 // grid extents
+	coords []int32 // flat proc → coordinates table, p×nd
+	wrap   bool    // torus wraparound
+}
+
+func newMLRefiner(t topology.Topology, procOrder []int32, n, p int) *mlRefiner {
+	r := &mlRefiner{t: t, procOrder: procOrder, n: n, p: p, slotOwner: make([]int32, n)}
+	wrap := false
+	switch t.(type) {
+	case *topology.Torus:
+		wrap = true
+	case *topology.Mesh:
+	case *topology.Hypercube:
+		r.kind = distHypercube
+		return r
+	default:
+		return r
+	}
+	co := t.(topology.Coordinated)
+	dims := co.Dims()
+	r.kind, r.wrap, r.nd = distGrid, wrap, len(dims)
+	r.dims = make([]int32, r.nd)
+	for i, d := range dims {
+		r.dims[i] = int32(d)
+	}
+	r.coords = make([]int32, p*r.nd)
+	buf := make([]int, r.nd)
+	for q := 0; q < p; q++ {
+		co.Coord(q, buf)
+		for i, c := range buf {
+			r.coords[q*r.nd+i] = int32(c)
+		}
+	}
+	return r
+}
+
+// setLevel points the refiner at a level and its slot layout. The start
+// slice is retained and mutated by refine.
+func (r *mlRefiner) setLevel(lvl *partition.CGraph, start []int32) {
+	r.lvl = lvl
+	r.start = start
+	if cap(r.proposals) < lvl.N {
+		r.proposals = make([]int32, lvl.N)
+		r.repc = make([]int32, lvl.N)
+		r.dirty = make([]bool, lvl.N)
+	}
+	r.proposals = r.proposals[:lvl.N]
+	r.repc = r.repc[:lvl.N]
+	r.dirty = r.dirty[:lvl.N]
+	for v := int32(0); v < int32(lvl.N); v++ {
+		tc := lvl.TcountOf(v)
+		for s := start[v]; s < start[v]+tc; s++ {
+			r.slotOwner[s] = v
+		}
+		r.repc[v] = r.rep(v)
+	}
+}
+
+// refine runs up to passes propose/commit sweeps, stopping early once a
+// sweep commits no move. The first sweep scans every vertex; later sweeps
+// rescan only vertices whose neighborhood a commit changed.
+func (r *mlRefiner) refine(passes int) {
+	for pass := 0; pass < passes; pass++ {
+		r.scanAll = pass == 0
+		r.propose()
+		if r.commit() == 0 {
+			break
+		}
+	}
+}
+
+// dist returns the hop distance between processors a and b.
+func (r *mlRefiner) dist(a, b int32) float64 {
+	switch r.kind {
+	case distGrid:
+		ca := r.coords[int(a)*r.nd : int(a)*r.nd+r.nd]
+		cb := r.coords[int(b)*r.nd : int(b)*r.nd+r.nd]
+		s := int32(0)
+		for i := 0; i < r.nd; i++ {
+			d := ca[i] - cb[i]
+			if d < 0 {
+				d = -d
+			}
+			if r.wrap {
+				if w := r.dims[i] - d; w < d {
+					d = w
+				}
+			}
+			s += d
+		}
+		return float64(s)
+	case distHypercube:
+		return float64(bits.OnesCount32(uint32(a ^ b)))
+	}
+	//lint:ignore hotalloc Topology.Distance dispatches to closed-form coordinate arithmetic (fat-trees and other non-grid machines); zero allocations, pinned by TestMultilevelProposeZeroAlloc
+	return float64(r.t.Distance(int(a), int(b)))
+}
+
+// procNeighbors returns the machine neighbors of processor q.
+func (r *mlRefiner) procNeighbors(q int32) []int {
+	//lint:ignore hotalloc Topology.Neighbors returns a precomputed adjacency slice on every machine topology; zero allocations, pinned by TestMultilevelProposeZeroAlloc
+	return r.t.Neighbors(int(q))
+}
+
+// rep returns the center-slot representative processor of vertex v.
+func (r *mlRefiner) rep(v int32) int32 {
+	return r.procOrder[slotProc(r.start[v]+r.lvl.TcountOf(v)/2, r.n, r.p)]
+}
+
+// propose fills proposals[v] with the best equal-population swap partner
+// for every vertex against the frozen layout (-1 when no swap improves).
+// The scan is a pure per-vertex function; the first candidate achieving
+// the best delta wins, in a fixed candidate order, so the result is
+// identical at any GOMAXPROCS.
+//
+//lint:hotpath uncoarsen refinement inner loop: the per-vertex proposal scan runs at every hierarchy level over every vertex and must stay allocation-free, with distances from closed-form Topology.Distance only
+func (r *mlRefiner) propose() {
+	//lint:ignore hotalloc one capturing closure per sweep; the per-vertex body is allocation-free
+	parallel.For(r.lvl.N, proposeGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			r.proposals[v] = r.proposeOne(int32(v))
+		}
+	})
+}
+
+// proposeOne scans v's candidate partners and returns the one giving the
+// most negative hop-bytes delta (-1 if none clears swapEps). Candidates:
+// owners of machine-neighbor processors of v's representative, owners of
+// the slot runs flanking v's, and v's communication partners.
+func (r *mlRefiner) proposeOne(v int32) int32 {
+	if !r.scanAll && !r.dirty[v] {
+		return -1
+	}
+	lvl := r.lvl
+	pv := r.repc[v]
+	// Gain filter: a vertex whose every edge already spans <= 1 hop cannot
+	// reduce its own terms; skip it (partners still scan from their side).
+	far := false
+	for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+		if r.dist(pv, r.repc[lvl.Adjncy[i]]) > 1 {
+			far = true
+			break
+		}
+	}
+	if !far {
+		return -1
+	}
+	tc := lvl.TcountOf(v)
+	best := int32(-1)
+	bestDelta := -swapEps
+	for _, q := range r.procNeighbors(pv) {
+		best, bestDelta = r.consider(v, r.slotOwner[firstSlot(int32(q), r.n, r.p)], tc, pv, best, bestDelta)
+	}
+	if s := r.start[v] - 1; s >= 0 {
+		best, bestDelta = r.consider(v, r.slotOwner[s], tc, pv, best, bestDelta)
+	}
+	if s := r.start[v] + tc; s < int32(r.n) {
+		best, bestDelta = r.consider(v, r.slotOwner[s], tc, pv, best, bestDelta)
+	}
+	for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+		best, bestDelta = r.consider(v, lvl.Adjncy[i], tc, pv, best, bestDelta)
+	}
+	return best
+}
+
+// consider evaluates candidate partner c for vertex v and returns the
+// updated best partner and delta. Strictly better deltas replace, so the
+// first candidate reaching the best value wins (fixed candidate order).
+func (r *mlRefiner) consider(v, c, tc, pv, best int32, bestDelta float64) (int32, float64) {
+	if c == v || r.lvl.TcountOf(c) != tc {
+		return best, bestDelta
+	}
+	pc := r.repc[c]
+	if pc == pv {
+		return best, bestDelta
+	}
+	if d := r.swapDelta(v, c, pv, pc); d < bestDelta {
+		return c, d
+	}
+	return best, bestDelta
+}
+
+// swapDelta returns the change in the level's surrogate hop-bytes if v
+// (rep pv) and c (rep pc) exchange slot runs. The v–c edge, if any, is
+// symmetric under the swap and skipped.
+func (r *mlRefiner) swapDelta(v, c, pv, pc int32) float64 {
+	lvl := r.lvl
+	d := 0.0
+	for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+		u := lvl.Adjncy[i]
+		if u == c {
+			continue
+		}
+		pu := r.repc[u]
+		d += lvl.Adjwgt[i] * (r.dist(pc, pu) - r.dist(pv, pu))
+	}
+	for i := lvl.Xadj[c]; i < lvl.Xadj[c+1]; i++ {
+		u := lvl.Adjncy[i]
+		if u == v {
+			continue
+		}
+		pu := r.repc[u]
+		d += lvl.Adjwgt[i] * (r.dist(pv, pu) - r.dist(pc, pu))
+	}
+	return d
+}
+
+// commit applies proposals serially in ascending vertex order, recomputing
+// each delta against the live layout (earlier commits may have changed
+// it), and returns the number of swaps applied. Swapped vertices and
+// their communication partners are marked dirty for the next pass.
+func (r *mlRefiner) commit() int {
+	for i := range r.dirty {
+		r.dirty[i] = false
+	}
+	moves := 0
+	for v := int32(0); v < int32(r.lvl.N); v++ {
+		c := r.proposals[v]
+		if c < 0 {
+			continue
+		}
+		pv, pc := r.repc[v], r.repc[c]
+		if pv == pc {
+			continue
+		}
+		if r.swapDelta(v, c, pv, pc) >= -swapEps {
+			continue
+		}
+		tc := r.lvl.TcountOf(v)
+		r.start[v], r.start[c] = r.start[c], r.start[v]
+		for s := r.start[v]; s < r.start[v]+tc; s++ {
+			r.slotOwner[s] = v
+		}
+		for s := r.start[c]; s < r.start[c]+tc; s++ {
+			r.slotOwner[s] = c
+		}
+		r.repc[v], r.repc[c] = pc, pv
+		r.markDirty(v)
+		r.markDirty(c)
+		moves++
+	}
+	return moves
+}
+
+// markDirty marks v and its communication partners for the next pass.
+func (r *mlRefiner) markDirty(v int32) {
+	r.dirty[v] = true
+	for i := r.lvl.Xadj[v]; i < r.lvl.Xadj[v+1]; i++ {
+		r.dirty[r.lvl.Adjncy[i]] = true
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func placeAt(t *testing.T, procs int, g *taskgraph.Graph, topo topology.Topology) []int {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	pl, err := MultilevelMap{}.Place(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestMultilevelDeterminism pins Place to byte-identical output at
+// GOMAXPROCS 1, 2, and 8 on both a structured and an irregular graph.
+func TestMultilevelDeterminism(t *testing.T) {
+	torus, err := topology.NewTorus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *taskgraph.Graph
+		topo topology.Topology
+	}{
+		{"stencil", taskgraph.Stencil9(64, 64, 1024), torus},
+		{"rgg", taskgraph.RandomGeometricDeg(5000, 8, 1e4, 3), mesh},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := placeAt(t, 1, tc.g, tc.topo)
+			for _, procs := range []int{2, 8} {
+				got := placeAt(t, procs, tc.g, tc.topo)
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("GOMAXPROCS=%d diverges from serial at task %d: %d != %d",
+							procs, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultilevelPlacementBalanced checks the structural contract of the
+// slot construction: every processor receives floor(n/p) or ceil(n/p)
+// tasks, so the placement is surjective and task-count balanced.
+func TestMultilevelPlacementBalanced(t *testing.T) {
+	topo, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{64, 65, 1000, 4096} {
+		g := taskgraph.Random(n, 4*n, 100, 1000, 9)
+		pl := placeAt(t, 1, g, topo)
+		counts := make([]int, topo.Nodes())
+		for task, proc := range pl {
+			if proc < 0 || proc >= topo.Nodes() {
+				t.Fatalf("n=%d: task %d on processor %d", n, task, proc)
+			}
+			counts[proc]++
+		}
+		lo, hi := n/topo.Nodes(), (n+topo.Nodes()-1)/topo.Nodes()
+		for q, c := range counts {
+			if c < lo || c > hi {
+				t.Fatalf("n=%d: processor %d holds %d tasks, want in [%d,%d]", n, q, c, lo, hi)
+			}
+		}
+	}
+}
+
+// TestMultilevelMapBijection checks the n == p strategy interface: Map
+// must return a valid bijection.
+func TestMultilevelMapBijection(t *testing.T) {
+	topo, err := topology.NewTorus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Stencil9(16, 16, 1024)
+	m, err := MultilevelMap{}.Map(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, topo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultilevelQualityVsFlat cross-checks multilevel hop-bytes against
+// the flat two-phase pipeline (partition + TopoLB on the quotient) at
+// sizes where both complete, on a torus, a mesh, and a fat-tree. The
+// hierarchical path trades some quality for asymptotic speed; a fixed
+// factor bounds the loss.
+func TestMultilevelQualityVsFlat(t *testing.T) {
+	torus, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := topology.NewFatTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Stencil9(16, 16, 1024)
+	for _, topo := range []topology.Topology{torus, mesh, ft} {
+		p := topo.Nodes()
+		pr, err := partition.Multilevel{Seed: 1}.Partition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := partition.Quotient(g, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := TopoLB{}.Map(q, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := make([]int, g.NumVertices())
+		for v, grp := range pr.Assign {
+			flat[v] = gm[grp]
+		}
+		ml := placeAt(t, 1, g, topo)
+		hbFlat := HopBytes(g, topo, flat)
+		hbML := HopBytes(g, topo, ml)
+		t.Logf("%s: flat %.4g, multilevel %.4g (ratio %.3f)", topo.Name(), hbFlat, hbML, hbML/hbFlat)
+		if hbML > 1.5*hbFlat {
+			t.Fatalf("%s: multilevel hop-bytes %g exceeds 1.5x flat %g", topo.Name(), hbML, hbFlat)
+		}
+	}
+}
+
+// refinerFixture builds a finest-level refiner over g on topo with a
+// deterministic shuffled slot layout — adversarial enough that refinement
+// has work to do.
+func refinerFixture(t *testing.T, g *taskgraph.Graph, topo topology.Topology) *mlRefiner {
+	t.Helper()
+	n, p := g.NumVertices(), topo.Nodes()
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	start := make([]int32, n)
+	for v, s := range perm {
+		start[v] = int32(s)
+	}
+	r := newMLRefiner(topo, localityOrder(topo), n, p)
+	r.setLevel(partition.FromTaskGraph(g), start)
+	return r
+}
+
+// exactCost is the true hop-bytes of the refiner's current finest-level
+// layout (at the finest level the center-slot surrogate is exact).
+func exactCost(g *taskgraph.Graph, topo topology.Topology, r *mlRefiner) float64 {
+	m := make(Mapping, g.NumVertices())
+	for v := range m {
+		m[v] = int(r.procOrder[slotProc(r.start[v], r.n, r.p)])
+	}
+	return HopBytes(g, topo, m)
+}
+
+// TestMultilevelRefinementMonotonic checks the commit-time revalidation
+// guarantee: at the finest level, every propose/commit sweep leaves exact
+// hop-bytes no worse than before.
+func TestMultilevelRefinementMonotonic(t *testing.T) {
+	topo, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Random(512, 2048, 500, 1500, 5)
+	r := refinerFixture(t, g, topo)
+	cost := exactCost(g, topo, r)
+	improved := false
+	for pass := 0; pass < 6; pass++ {
+		r.scanAll = true
+		r.propose()
+		moves := r.commit()
+		next := exactCost(g, topo, r)
+		if next > cost+1e-6 {
+			t.Fatalf("pass %d increased hop-bytes: %g -> %g", pass, cost, next)
+		}
+		if next < cost {
+			improved = true
+		}
+		cost = next
+		if moves == 0 {
+			break
+		}
+	}
+	if !improved {
+		t.Fatal("refinement never improved the adversarial layout")
+	}
+}
+
+// TestMultilevelRefineDisabled checks the RefinePasses < 0 switch: with
+// refinement off, the placement is pure coarse projection.
+func TestMultilevelRefineDisabled(t *testing.T) {
+	topo, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Stencil9(32, 32, 1024)
+	off, err := MultilevelMap{RefinePasses: -1}.Place(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := MultilevelMap{}.Place(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbOff := HopBytes(g, topo, off)
+	hbOn := HopBytes(g, topo, on)
+	if hbOn > hbOff {
+		t.Fatalf("refinement made the mapping worse: %g (on) > %g (off)", hbOn, hbOff)
+	}
+}
+
+// TestMultilevelProposeZeroAlloc pins the hotpath contract: one proposal
+// sweep allocates at most the parallel.For closure — nothing per vertex.
+func TestMultilevelProposeZeroAlloc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	topo, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Random(512, 2048, 500, 1500, 5)
+	r := refinerFixture(t, g, topo)
+	r.scanAll = true
+	allocs := testing.AllocsPerRun(20, func() {
+		r.propose()
+	})
+	// The parallel.For closure and its capture context are the only
+	// allocations allowed — a constant per sweep, nothing per vertex.
+	if allocs > 2 {
+		t.Fatalf("propose sweep allocates %v times; want <= 2 (the sweep closure)", allocs)
+	}
+}
+
+// TestMultilevelEphemeralNoMatrix checks the memory contract: placing a
+// large graph on a large machine must not materialize a distance matrix —
+// the rep-topology adapter is Ephemeral and the refiner uses closed-form
+// distances only.
+func TestMultilevelEphemeralNoMatrix(t *testing.T) {
+	topo, err := topology.NewTorus(16, 16, 8) // 2048 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Stencil9(128, 64, 1024) // 8192 tasks
+	topology.PurgeDistanceCache()
+	before := topology.DistCacheCounters()
+	if _, err := (MultilevelMap{}).Place(g, topo); err != nil {
+		t.Fatal(err)
+	}
+	after := topology.DistCacheCounters()
+	if after.Misses != before.Misses {
+		t.Fatalf("Place materialized %d distance matrices", after.Misses-before.Misses)
+	}
+}

@@ -355,6 +355,32 @@ func TestExtrasScalingShape(t *testing.T) {
 	}
 }
 
+func TestExtrasScaleMultilevelShape(t *testing.T) {
+	tbl, err := ExtrasScaleMultilevel(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iRGG, iF, iM := col(tbl, "rgg"), col(tbl, "hpb_flat"), col(tbl, "hpb_ml")
+	for _, row := range tbl.Rows {
+		if row[iM] <= 0 {
+			t.Errorf("n=%v: multilevel hop-bytes %v not positive", row[1], row[iM])
+		}
+		if row[iF] == 0 {
+			continue // flat not run at this size
+		}
+		// On the structured stencil family multilevel stays within 10% of
+		// flat; irregular geometric graphs pay the linear-order trade (see
+		// the table notes) but stay within a fixed factor.
+		bound := 1.1
+		if row[iRGG] == 1 {
+			bound = 5
+		}
+		if row[iM] > bound*row[iF] {
+			t.Errorf("n=%v: multilevel %v exceeds %vx flat %v", row[1], row[iM], bound, row[iF])
+		}
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	tbl := &Table{
 		Columns: []string{"p", "x"},

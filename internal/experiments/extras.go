@@ -24,13 +24,15 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 		"extras-modern":     func() (*Table, error) { return ExtrasModern(quick) },
 		"extras-buffered":   func() (*Table, error) { return ExtrasBuffered(quick) },
 		"extras-wormhole":   func() (*Table, error) { return ExtrasWormhole(quick) },
+		"scale-multilevel":  func() (*Table, error) { return ExtrasScaleMultilevel(quick) },
 	}
 }
 
 // ExtrasIDs lists extras identifiers.
 func ExtrasIDs() []string {
 	return []string{"extras-strategies", "extras-hybrid", "extras-routing",
-		"extras-scaling", "extras-modern", "extras-buffered", "extras-wormhole"}
+		"extras-scaling", "extras-modern", "extras-buffered", "extras-wormhole",
+		"scale-multilevel"}
 }
 
 // ExtrasStrategies pits TopoLB against the related-work algorithms of §2

@@ -1,0 +1,298 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/taskgraph"
+)
+
+// This file is the generalized home of the heavy-edge matching kernel
+// that mgraph.coarsen introduced for the k-way partitioner: the same
+// match/contract machinery, exposed as an explicit coarsening hierarchy
+// (every level plus every fine→coarse map) so multilevel *mapping* can
+// uncoarsen with local refinement. Levels carry merged vertex weights and
+// merged finest-task counts; memory is O(n + |E|) summed over the whole
+// hierarchy because level sizes decay geometrically.
+
+// CGraph is one level of a coarsening hierarchy in CSR form. Adjacency
+// blocks are deterministic but not sorted unless produced with sortAdj.
+type CGraph struct {
+	// N is the vertex count.
+	N int
+	// Xadj has len N+1; vertex v's edges are Adjncy[Xadj[v]:Xadj[v+1]].
+	Xadj []int32
+	// Adjncy holds neighbor vertex ids.
+	Adjncy []int32
+	// Adjwgt holds merged edge weights (bytes) parallel to Adjncy.
+	Adjwgt []float64
+	// Vwgt holds merged computation weights.
+	Vwgt []float64
+	// Tcount holds the number of finest-level tasks merged into each
+	// vertex; nil means every vertex is a single task (a finest level).
+	Tcount []int32
+}
+
+// TcountOf returns the finest-task count of vertex v (1 when Tcount is
+// nil).
+func (c *CGraph) TcountOf(v int32) int32 {
+	if c.Tcount == nil {
+		return 1
+	}
+	return c.Tcount[v]
+}
+
+// Hierarchy is a sequence of increasingly coarse graphs produced by
+// repeated heavy-edge matching. Levels[0] is the first contraction of the
+// input; Levels[len-1] is the coarsest graph. Cmaps[i] maps the vertices
+// of the previous level (the input graph for i == 0) onto Levels[i].
+type Hierarchy struct {
+	Levels []*CGraph
+	Cmaps  [][]int32
+}
+
+// HierarchyOptions configures BuildHierarchy.
+type HierarchyOptions struct {
+	// CoarsenTo stops coarsening once a level has at most this many
+	// vertices. Default 128.
+	CoarsenTo int
+	// MaxTasks caps the finest-task count merged into one coarse vertex,
+	// keeping coarse vertices divisible into balanced slot blocks.
+	// Default ceil(2·n / CoarsenTo).
+	MaxTasks int32
+	// MaxLevels bounds the hierarchy depth. Default 64.
+	MaxLevels int
+}
+
+// FromTaskGraph wraps g as a finest-level CGraph. The CSR slices alias
+// g's storage and must not be modified.
+func FromTaskGraph(g *taskgraph.Graph) *CGraph {
+	xadj, adjncy, adjwgt := g.CSR()
+	return &CGraph{
+		N:      g.NumVertices(),
+		Xadj:   xadj,
+		Adjncy: adjncy,
+		Adjwgt: adjwgt,
+		Vwgt:   g.VertexWeights(),
+	}
+}
+
+// BuildHierarchy coarsens g by repeated heavy-edge matching until the
+// coarsest level has at most opt.CoarsenTo vertices or matching
+// stagnates. The result is byte-deterministic at any GOMAXPROCS: the
+// matching preference scan is a pure per-vertex function evaluated in
+// parallel, and matches are committed serially in ascending vertex order
+// with lowest-index tie-breaks.
+func BuildHierarchy(g *taskgraph.Graph, opt HierarchyOptions) *Hierarchy {
+	coarsenTo := opt.CoarsenTo
+	if coarsenTo <= 0 {
+		coarsenTo = 128
+	}
+	maxLevels := opt.MaxLevels
+	if maxLevels <= 0 {
+		maxLevels = 64
+	}
+	n := g.NumVertices()
+	maxTasks := opt.MaxTasks
+	if maxTasks <= 0 {
+		maxTasks = int32((2*n + coarsenTo - 1) / coarsenTo)
+		if maxTasks < 2 {
+			maxTasks = 2
+		}
+	}
+	h := &Hierarchy{}
+	cur := FromTaskGraph(g)
+	for cur.N > coarsenTo && len(h.Levels) < maxLevels {
+		pref := make([]int32, cur.N)
+		match := make([]int32, cur.N)
+		cmap := make([]int32, cur.N)
+		coarseN := matchHeavyEdge(cur, nil, 0, maxTasks, pref, match, cmap)
+		// Stagnation guard: a level that shrinks by less than 3% means the
+		// task-count cap (or graph structure) blocks further contraction.
+		if int(coarseN) >= cur.N || float64(coarseN) > 0.97*float64(cur.N) {
+			break
+		}
+		coarse := contract(cur, cmap, match, coarseN, false)
+		h.Levels = append(h.Levels, coarse)
+		h.Cmaps = append(h.Cmaps, cmap)
+		cur = coarse
+	}
+	return h
+}
+
+// matchGrain is the fixed chunk size of the parallel preference scan;
+// chunk boundaries never depend on the worker count.
+const matchGrain = 512
+
+// matchHeavyEdge computes a deterministic heavy-edge matching of lvl and
+// assigns coarse vertex ids, returning the coarse vertex count.
+//
+// Phase one fills pref[v] with the heaviest neighbor of v admissible
+// under the caps, ignoring matching state — a pure per-vertex function,
+// evaluated in parallel. Ascending adjacency order with strict
+// replacement makes the lowest-index neighbor win weight ties. Phase two
+// commits serially, visiting vertices in order (nil = ascending index):
+// an unmatched vertex takes its preference if still free, otherwise
+// rescans for its heaviest still-unmatched admissible neighbor, otherwise
+// stays a singleton. maxVwgt caps the merged vertex weight (0 = no cap);
+// maxTasks caps the merged finest-task count (0 = no cap). match[v]
+// receives v's partner (v itself for singletons) and cmap[v] the coarse
+// id, numbered in commit order.
+func matchHeavyEdge(lvl *CGraph, order []int32, maxVwgt float64, maxTasks int32, pref, match, cmap []int32) int32 {
+	n := lvl.N
+	admissible := func(v, u int32) bool {
+		if maxVwgt > 0 && lvl.Vwgt[v]+lvl.Vwgt[u] > maxVwgt {
+			return false
+		}
+		if maxTasks > 0 && lvl.TcountOf(v)+lvl.TcountOf(u) > maxTasks {
+			return false
+		}
+		return true
+	}
+	parallel.For(n, matchGrain, func(lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			best := int32(-1)
+			bestW := -1.0
+			for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+				u := lvl.Adjncy[i]
+				if w := lvl.Adjwgt[i]; w > bestW && admissible(v, u) {
+					best, bestW = u, w
+				}
+			}
+			pref[vi] = best
+		}
+	})
+	for i := range match {
+		match[i] = -1
+	}
+	coarseN := int32(0)
+	commit := func(v int32) {
+		if match[v] >= 0 {
+			return
+		}
+		u := pref[v]
+		if u < 0 || match[u] >= 0 {
+			// The precomputed preference is taken; rescan among the still
+			// unmatched (the exact serial heavy-edge matching semantics).
+			u = -1
+			bestW := -1.0
+			for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+				c := lvl.Adjncy[i]
+				if match[c] < 0 && lvl.Adjwgt[i] > bestW && admissible(v, c) {
+					u, bestW = c, lvl.Adjwgt[i]
+				}
+			}
+		}
+		if u >= 0 {
+			match[v], match[u] = u, v
+			cmap[v], cmap[u] = coarseN, coarseN
+		} else {
+			match[v] = v
+			cmap[v] = coarseN
+		}
+		coarseN++
+	}
+	if order == nil {
+		for v := int32(0); v < int32(n); v++ {
+			commit(v)
+		}
+	} else {
+		for _, v := range order {
+			commit(v)
+		}
+	}
+	return coarseN
+}
+
+// contract builds the coarse graph induced by cmap/match. Merged values
+// accumulate in ascending fine-member order, so the result is independent
+// of the commit visit order that numbered the coarse vertices. With
+// sortAdj the per-vertex adjacency blocks are sorted by neighbor id
+// (matching taskgraph's convention); otherwise blocks keep first-
+// encounter order, which is already deterministic. No hash maps: dedup
+// uses timestamped scratch arrays, O(n + |E|) total.
+func contract(lvl *CGraph, cmap, match []int32, coarseN int32, sortAdj bool) *CGraph {
+	// Members of each coarse vertex in ascending fine order.
+	memA := make([]int32, coarseN)
+	memB := make([]int32, coarseN)
+	for i := range memA {
+		memA[i] = -1
+		memB[i] = -1
+	}
+	for v := int32(0); v < int32(lvl.N); v++ {
+		c := cmap[v]
+		if memA[c] < 0 {
+			memA[c] = v
+		} else {
+			memB[c] = v
+		}
+	}
+	coarse := &CGraph{
+		N:      int(coarseN),
+		Xadj:   make([]int32, coarseN+1),
+		Vwgt:   make([]float64, coarseN),
+		Tcount: make([]int32, coarseN),
+	}
+	total := len(lvl.Adjncy)
+	coarse.Adjncy = make([]int32, 0, total)
+	coarse.Adjwgt = make([]float64, 0, total)
+	// seenC/seenAt dedup coarse neighbors per vertex: seenC[cu] == c marks
+	// cu already emitted for the current c, at position seenAt[cu].
+	seenC := make([]int32, coarseN)
+	seenAt := make([]int32, coarseN)
+	for i := range seenC {
+		seenC[i] = -1
+	}
+	appendEdges := func(c, m int32) {
+		for i := lvl.Xadj[m]; i < lvl.Xadj[m+1]; i++ {
+			cu := cmap[lvl.Adjncy[i]]
+			if cu == c {
+				continue
+			}
+			if seenC[cu] != c {
+				seenC[cu] = c
+				seenAt[cu] = int32(len(coarse.Adjncy))
+				coarse.Adjncy = append(coarse.Adjncy, cu)
+				coarse.Adjwgt = append(coarse.Adjwgt, lvl.Adjwgt[i])
+			} else {
+				coarse.Adjwgt[seenAt[cu]] += lvl.Adjwgt[i]
+			}
+		}
+	}
+	for c := int32(0); c < coarseN; c++ {
+		a, b := memA[c], memB[c]
+		coarse.Vwgt[c] = lvl.Vwgt[a]
+		coarse.Tcount[c] = lvl.TcountOf(a)
+		appendEdges(c, a)
+		if b >= 0 {
+			coarse.Vwgt[c] += lvl.Vwgt[b]
+			coarse.Tcount[c] += lvl.TcountOf(b)
+			appendEdges(c, b)
+		}
+		start := coarse.Xadj[c]
+		coarse.Xadj[c+1] = int32(len(coarse.Adjncy))
+		if sortAdj {
+			sortAdjBlock(coarse.Adjncy[start:coarse.Xadj[c+1]], coarse.Adjwgt[start:coarse.Xadj[c+1]])
+		}
+	}
+	return coarse
+}
+
+// sortAdjBlock sorts one adjacency block by neighbor id, keeping weights
+// parallel.
+func sortAdjBlock(adj []int32, wgt []float64) {
+	sort.Sort(&adjSorter{adj: adj, wgt: wgt})
+}
+
+type adjSorter struct {
+	adj []int32
+	wgt []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.adj) }
+func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.wgt[i], s.wgt[j] = s.wgt[j], s.wgt[i]
+}

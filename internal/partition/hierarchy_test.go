@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// TestHierarchyConservation checks that every level of the coarsening
+// hierarchy conserves total vertex weight and total finest-task count,
+// that every cmap is a valid onto map with at most two members per coarse
+// vertex, and that adjacency stays symmetric with matching weights.
+func TestHierarchyConservation(t *testing.T) {
+	g := taskgraph.Stencil9(32, 32, 1000)
+	n := g.NumVertices()
+	h := BuildHierarchy(g, HierarchyOptions{CoarsenTo: 64})
+	if len(h.Levels) == 0 {
+		t.Fatal("no coarsening happened")
+	}
+	wantV := g.TotalLoad()
+	prevN := n
+	for li, lvl := range h.Levels {
+		if lvl.N >= prevN {
+			t.Fatalf("level %d has %d vertices, previous had %d", li, lvl.N, prevN)
+		}
+		sumV, sumT := 0.0, 0
+		for v := 0; v < lvl.N; v++ {
+			sumV += lvl.Vwgt[v]
+			sumT += int(lvl.TcountOf(int32(v)))
+		}
+		if sumT != n {
+			t.Fatalf("level %d carries %d finest tasks, want %d", li, sumT, n)
+		}
+		if math.Abs(sumV-wantV) > 1e-6*wantV {
+			t.Fatalf("level %d vertex weight %g, want %g", li, sumV, wantV)
+		}
+		cmap := h.Cmaps[li]
+		if len(cmap) != prevN {
+			t.Fatalf("level %d cmap has %d entries, want %d", li, len(cmap), prevN)
+		}
+		members := make([]int, lvl.N)
+		for v, c := range cmap {
+			if c < 0 || int(c) >= lvl.N {
+				t.Fatalf("level %d cmap[%d] = %d out of [0,%d)", li, v, c, lvl.N)
+			}
+			members[c]++
+		}
+		for c, m := range members {
+			if m < 1 || m > 2 {
+				t.Fatalf("level %d coarse vertex %d has %d members", li, c, m)
+			}
+		}
+		checkSymmetric(t, li, lvl)
+		prevN = lvl.N
+	}
+	if coarsest := h.Levels[len(h.Levels)-1]; coarsest.N > 64 {
+		t.Fatalf("coarsest level has %d vertices, want <= 64", coarsest.N)
+	}
+}
+
+func checkSymmetric(t *testing.T, li int, lvl *CGraph) {
+	t.Helper()
+	type edge struct{ a, b int32 }
+	w := make(map[edge]float64)
+	for v := int32(0); v < int32(lvl.N); v++ {
+		for i := lvl.Xadj[v]; i < lvl.Xadj[v+1]; i++ {
+			w[edge{v, lvl.Adjncy[i]}] = lvl.Adjwgt[i]
+		}
+	}
+	for e, wf := range w {
+		wr, ok := w[edge{e.b, e.a}]
+		if !ok {
+			t.Fatalf("level %d edge (%d,%d) has no reverse", li, e.a, e.b)
+		}
+		if wf != wr {
+			t.Fatalf("level %d edge (%d,%d) weight %g != reverse %g", li, e.a, e.b, wf, wr)
+		}
+	}
+}
+
+// TestHierarchyDeterministic pins BuildHierarchy to byte-identical output
+// at any GOMAXPROCS: the matching preference scan is parallel, but commits
+// are serial with lowest-index tie-breaks.
+func TestHierarchyDeterministic(t *testing.T) {
+	g := taskgraph.Random(2000, 8000, 100, 1000, 11)
+	var ref *Hierarchy
+	for _, procs := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		h := BuildHierarchy(g, HierarchyOptions{CoarsenTo: 100})
+		runtime.GOMAXPROCS(prev)
+		if ref == nil {
+			ref = h
+			continue
+		}
+		if !reflect.DeepEqual(ref, h) {
+			t.Fatalf("hierarchy differs at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// TestHierarchyMaxTasks checks the merged-task cap: no coarse vertex may
+// swallow more finest tasks than MaxTasks allows.
+func TestHierarchyMaxTasks(t *testing.T) {
+	g := taskgraph.Stencil9(40, 40, 1000)
+	h := BuildHierarchy(g, HierarchyOptions{CoarsenTo: 25, MaxTasks: 80})
+	for li, lvl := range h.Levels {
+		for v := int32(0); v < int32(lvl.N); v++ {
+			if tc := lvl.TcountOf(v); tc > 80 {
+				t.Fatalf("level %d vertex %d merged %d tasks, cap 80", li, v, tc)
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"math/rand"
-	"sort"
 
 	"repro/internal/taskgraph"
 )
@@ -52,75 +51,24 @@ func (m *mgraph) totalVwgt() float64 {
 // coarsen matches vertices by heavy-edge matching and contracts matched
 // pairs, returning the coarse graph and the fine→coarse vertex map.
 // maxVwgt bounds the weight of a contracted vertex so one giant vertex
-// cannot make balanced partitioning impossible.
+// cannot make balanced partitioning impossible. The match/contract kernel
+// lives in hierarchy.go (shared with the mapping hierarchy); this wrapper
+// keeps the partitioner's historical rng-permuted visit order and sorted
+// coarse adjacency.
 func (m *mgraph) coarsen(rng *rand.Rand, maxVwgt float64) (*mgraph, []int32) {
-	match := make([]int32, m.n)
-	for i := range match {
-		match[i] = -1
-	}
+	lvl := &CGraph{N: m.n, Xadj: m.xadj, Adjncy: m.adjncy, Adjwgt: m.adjwgt, Vwgt: m.vwgt}
 	perm := rng.Perm(m.n)
+	order := make([]int32, m.n)
+	for i, v := range perm {
+		order[i] = int32(v)
+	}
+	pref := make([]int32, m.n)
+	match := make([]int32, m.n)
 	cmap := make([]int32, m.n)
-	coarseN := int32(0)
-	for _, vi := range perm {
-		v := int32(vi)
-		if match[v] >= 0 {
-			continue
-		}
-		best := int32(-1)
-		bestW := -1.0
-		adj, w := m.neighbors(v)
-		for i, u := range adj {
-			if match[u] < 0 && w[i] > bestW && m.vwgt[v]+m.vwgt[u] <= maxVwgt {
-				best, bestW = u, w[i]
-			}
-		}
-		if best >= 0 {
-			match[v], match[best] = best, v
-			cmap[v], cmap[best] = coarseN, coarseN
-		} else {
-			match[v] = v
-			cmap[v] = coarseN
-		}
-		coarseN++
-	}
-	// Build coarse adjacency by accumulating fine edges between distinct
-	// coarse endpoints.
-	type edge struct {
-		u int32
-		w float64
-	}
-	acc := make([]map[int32]float64, coarseN)
-	cv := make([]float64, coarseN)
-	for v := int32(0); v < int32(m.n); v++ {
-		c := cmap[v]
-		cv[c] += m.vwgt[v]
-		adj, w := m.neighbors(v)
-		for i, u := range adj {
-			cu := cmap[u]
-			if cu == c {
-				continue
-			}
-			if acc[c] == nil {
-				acc[c] = make(map[int32]float64)
-			}
-			acc[c][cu] += w[i]
-		}
-	}
-	coarse := &mgraph{n: int(coarseN), xadj: make([]int32, coarseN+1), vwgt: cv}
-	var buf []edge
-	for c := int32(0); c < coarseN; c++ {
-		buf = buf[:0]
-		for u, w := range acc[c] {
-			buf = append(buf, edge{u, w})
-		}
-		sort.Slice(buf, func(i, j int) bool { return buf[i].u < buf[j].u })
-		for _, e := range buf {
-			coarse.adjncy = append(coarse.adjncy, e.u)
-			coarse.adjwgt = append(coarse.adjwgt, e.w)
-		}
-		coarse.xadj[c+1] = int32(len(coarse.adjncy))
-	}
-	return coarse, cmap
+	coarseN := matchHeavyEdge(lvl, order, maxVwgt, 0, pref, match, cmap)
+	coarse := contract(lvl, cmap, match, coarseN, true)
+	return &mgraph{n: coarse.N, xadj: coarse.Xadj, adjncy: coarse.Adjncy,
+		adjwgt: coarse.Adjwgt, vwgt: coarse.Vwgt}, cmap
 }
 
 // extract builds the subgraph induced by the selected vertices (given as

@@ -57,7 +57,7 @@ func directBody(t *testing.T, spec Job) []byte {
 	}
 	var m []int
 	if g.NumVertices() > topo.Nodes() {
-		pr, err := topomap.MapTasks(g, topo, nil, strat)
+		pr, err := topomap.MapTasks(g, topo, topomap.Multilevel{Seed: spec.Seed}, strat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,6 +144,14 @@ func testJobs() []Job {
 			Topology: "torus:4,4", Strategy: "topolb", Seed: 1, Refine: true,
 			Sim: &SimSpec{Iterations: 1, ComputeTime: 1e-5, LinkBandwidth: 1e8, LinkLatency: 1e-6,
 				PacketSize: 1024, Mode: "wormhole", FlitSize: 128}},
+		// Hierarchical multilevel mapping: tasks placed directly, no
+		// separate partition phase.
+		{Graph: GraphSpec{Pattern: "stencil9:16,16", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "multilevel", Seed: 1, Metrics: true},
+		// A partitioned job with a non-default seed: the partitioner's RNG
+		// follows the spec seed, so this must not collide with Seed 1.
+		{Graph: GraphSpec{Pattern: "mesh2d:8,8", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "topolb", Seed: 3},
 	}
 }
 

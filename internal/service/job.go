@@ -311,7 +311,10 @@ func (j *job) compute() (*JobResult, error) {
 	if j.partitioned {
 		// Two-phase pipeline: partition tasks into one group per
 		// processor, then map the quotient graph with the job's strategy.
-		pr, err := topomap.MapTasks(j.graph, j.topo, nil, j.strat)
+		// The partitioner's RNG is seeded from the job spec, so two jobs
+		// whose content keys differ only in Seed genuinely partition
+		// differently instead of silently sharing the zero seed.
+		pr, err := topomap.MapTasks(j.graph, j.topo, topomap.Multilevel{Seed: j.spec.Seed}, j.strat)
 		if err != nil {
 			return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
 		}

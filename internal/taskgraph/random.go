@@ -64,3 +64,74 @@ func RandomGeometric(n int, radius float64, msgBytes float64, seed int64) *Graph
 	}
 	return b.Build(fmt.Sprintf("rgg(n=%d,r=%g,seed=%d)", n, radius, seed))
 }
+
+// RandomGeometricDeg is RandomGeometric with the radius derived from a
+// target average degree (expected degree of a point is π·r²·n) and a
+// cell-bucketed neighbor search, so million-vertex instances build in
+// O(n·deg) instead of O(n²) pair tests. Deterministic for a given seed.
+func RandomGeometricDeg(n, avgDeg int, msgBytes float64, seed int64) *Graph {
+	if n < 2 {
+		panic("taskgraph: RandomGeometricDeg needs at least 2 vertices")
+	}
+	if avgDeg < 1 {
+		panic("taskgraph: RandomGeometricDeg needs average degree >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	radius := math.Sqrt(float64(avgDeg+1) / (math.Pi * float64(n)))
+	if radius > 1 {
+		radius = 1
+	}
+	// Bucket points on a grid with cell side >= radius; every neighbor of a
+	// point lies in its own or an adjacent cell.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	head := make([]int32, cells*cells)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := cellOf(ys[i])*cells + cellOf(xs[i])
+		next[i] = head[c]
+		head[c] = int32(i)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i]), cellOf(ys[i])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= cells || ny < 0 || ny >= cells {
+					continue
+				}
+				for k := head[ny*cells+nx]; k >= 0; k = next[k] {
+					j := int(k)
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					d := math.Sqrt(ddx*ddx + ddy*ddy)
+					if d < radius {
+						b.AddEdge(i, j, msgBytes*(1-d/radius))
+					}
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("rgg(n=%d,deg=%d,seed=%d)", n, avgDeg, seed))
+}

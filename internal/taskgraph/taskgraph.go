@@ -125,6 +125,19 @@ func (g *Graph) Neighbors(v int) ([]int32, []float64) {
 	return g.adjncy[lo:hi], g.adjwgt[lo:hi]
 }
 
+// CSR returns the graph's raw compressed-sparse-row arrays: row offsets
+// (len n+1), concatenated adjacency, and parallel edge weights. The
+// slices alias internal storage and must not be modified; they exist so
+// level-structured algorithms (multilevel coarsening) can walk the whole
+// graph without per-vertex accessor calls or a defensive copy.
+func (g *Graph) CSR() (xadj, adjncy []int32, adjwgt []float64) {
+	return g.xadj, g.adjncy, g.adjwgt
+}
+
+// VertexWeights returns the per-vertex computation weights. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) VertexWeights() []float64 { return g.vwgt }
+
 // EdgeWeight returns the bytes exchanged between a and b (0 if no edge).
 // Adjacency lists are sorted, so this is a binary search.
 func (g *Graph) EdgeWeight(a, b int) float64 {

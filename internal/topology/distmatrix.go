@@ -152,14 +152,32 @@ func PurgeDistanceCache() int {
 	return n
 }
 
+// Ephemeral marks adapter topologies whose Name does not uniquely
+// determine their distance function — e.g. a multilevel mapper's
+// chunk-center representative view, whose distances depend on the task
+// graph being mapped. CachedDistances never materializes or caches a
+// matrix for an Ephemeral topology: a cache hit across two different
+// adapters with equal names would silently serve wrong distances, and
+// the adapters exist precisely to keep memory free of O(p²) tables.
+type Ephemeral interface {
+	Topology
+	// EphemeralTopology is a marker method.
+	EphemeralTopology()
+}
+
 // CachedDistances returns the lazily built, globally cached distance
 // matrix for t, or nil when t is too large to materialize under the
 // current cap (callers must then fall back to t.Distance). The cache is
 // keyed by Name()+node count — Name must uniquely determine the distance
 // function, which holds for every closed-form topology in this package;
 // explicit Graphs carry a process-unique id instead, since two graphs
-// with equal node and edge counts share a Name but not distances.
+// with equal node and edge counts share a Name but not distances, and
+// Ephemeral adapters are never materialized at all.
 func CachedDistances(t Topology) *DistanceMatrix {
+	if _, ok := t.(Ephemeral); ok {
+		distCacheStats.bypasses.Add(1)
+		return nil
+	}
 	n := t.Nodes()
 	cells := int64(n) * int64(n)
 	if cap := distMatrixCap.Load(); cap <= 0 || cells > cap {

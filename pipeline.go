@@ -60,6 +60,9 @@ func MapTasks(g *TaskGraph, t topology.Topology, part Partitioner, strat Strateg
 	if strat == nil {
 		strat = core.RefineTopoLB{Base: core.TopoLB{}}
 	}
+	if pl, ok := strat.(core.Placer); ok && g.NumVertices() > t.Nodes() {
+		return placeTasks(g, t, pl)
+	}
 	pr, err := part.Partition(g, t.Nodes())
 	if err != nil {
 		return nil, err
@@ -94,6 +97,49 @@ func MapTasks(g *TaskGraph, t topology.Topology, part Partitioner, strat Strateg
 	}
 	if total > 0 {
 		res.Imbalance = maxLoad / (total / float64(t.Nodes()))
+	}
+	return res, nil
+}
+
+// placeTasks runs a direct Placer strategy (hierarchical multilevel
+// mapping): the strategy assigns every task to a processor in one shot,
+// and the induced processor groups are reported through the same
+// PipelineResult shape so results stay comparable with the two-phase
+// pipeline. GroupMapping is the identity — group q is, by construction,
+// the set of tasks on processor q.
+func placeTasks(g *TaskGraph, t topology.Topology, pl core.Placer) (*PipelineResult, error) {
+	p := t.Nodes()
+	placement, err := pl.Place(g, t)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Partition{Assign: placement, K: p}
+	q, err := partition.Quotient(g, pr)
+	if err != nil {
+		return nil, err
+	}
+	ident := make(Mapping, p)
+	for i := range ident {
+		ident[i] = i
+	}
+	res := &PipelineResult{
+		Placement:     placement,
+		Groups:        pr,
+		QuotientGraph: q,
+		GroupMapping:  ident,
+		HopsPerByte:   core.HopsPerByte(q, t, ident),
+		EdgeCut:       pr.EdgeCut(g),
+	}
+	loads := pr.GroupLoads(g)
+	maxLoad, total := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total > 0 {
+		res.Imbalance = maxLoad / (total / float64(p))
 	}
 	return res, nil
 }

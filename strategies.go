@@ -2,6 +2,7 @@ package topomap
 
 import (
 	"repro/internal/baselines"
+	"repro/internal/core"
 	"repro/internal/hybrid"
 )
 
@@ -31,3 +32,10 @@ type ARM = baselines.ARM
 // proposes for very large machines: blocks are mapped coarsely, then
 // each group is mapped within its block.
 type Hybrid = hybrid.Hybrid
+
+// MultilevelMap is the hierarchical coarsen→map→refine strategy for very
+// large task graphs: coarsen by heavy-edge matching, map the coarsest
+// graph with TopoLB, uncoarsen with bounded hop-bytes refinement using
+// closed-form distances only. Implements Placer, so MapTasks applies it
+// directly when tasks outnumber processors.
+type MultilevelMap = core.MultilevelMap
