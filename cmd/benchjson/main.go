@@ -19,10 +19,15 @@
 //     under load, "cold" = every request a distinct job (computes),
 //     "warm" = one job repeated (result-cache hits). Records QPS, p50/p99
 //     latency, allocs/request, and cache hit rate per grid cell.
+//   - suite "incremental" (BENCH_incremental.json): the online remapping
+//     engine, "baseline" = a full core.HopBytes recompute per
+//     observation, "optimized" = one O(deg) delta applied to a live
+//     core.IncrementalState. RefineIncremental and the end-to-end
+//     topomapd session delta→remap round trip are optimized-only rows.
 //
 // Usage:
 //
-//	benchjson [-suite mapping|netsim|multilevel|service] [-out FILE] [-quick] [-smoke]
+//	benchjson [-suite mapping|netsim|multilevel|service|incremental] [-out FILE] [-quick] [-smoke]
 //
 // Regenerate the matching BENCH_*.json after touching a suite's kernels;
 // the speedup column of the optimized entries against their baseline
@@ -176,7 +181,7 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service | incremental")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
 	smoke := flag.Bool("smoke", false, "netsim/multilevel/service suites: tiny CI subset, write nothing unless -out is set")
@@ -190,6 +195,8 @@ func main() {
 		results = runNetsimSuite(*quick, *smoke)
 	case "multilevel":
 		results = runMultilevelSuite(*quick, *smoke)
+	case "incremental":
+		results = runIncrementalSuite(*quick, *smoke)
 	case "service":
 		// The service suite measures a load grid (QPS, latency percentiles,
 		// cache hit rates), not ns/op micro-benchmarks, so it writes its own

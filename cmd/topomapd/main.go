@@ -1,16 +1,22 @@
 // Command topomapd serves topology-aware mapping jobs over HTTP/JSON: a
 // long-running front end for the repository's strategy, metrics, and
 // netsim kernels with cross-request caching, request coalescing, sharded
-// worker pools, and bounded admission control (see internal/service).
+// worker pools, bounded admission control, and live remapping sessions
+// (see internal/service).
 //
 // Endpoints:
 //
-//	POST /v1/map        one job, synchronous
-//	POST /v1/batch      {"jobs":[...]}; results in job order
-//	POST /v1/jobs       async submit -> {"id":...}
-//	GET  /v1/jobs/{id}  poll / fetch (fetch consumes the result)
-//	GET  /stats         service + cache + engine-pool counters
-//	GET  /healthz       liveness
+//	POST   /v1/map                  one job, synchronous
+//	POST   /v1/batch                {"jobs":[...]}; results in job order
+//	POST   /v1/jobs                 async submit -> {"id":...}
+//	GET    /v1/jobs/{id}            poll / fetch (fetch consumes the result)
+//	POST   /v1/sessions             register a live remapping session
+//	GET    /v1/sessions/{id}        session snapshot
+//	DELETE /v1/sessions/{id}        close a session
+//	POST   /v1/sessions/{id}/deltas stream load/comm/churn deltas
+//	GET    /v1/sessions/{id}/watch  long-poll for pushed remaps
+//	GET    /stats                   service + session + cache counters
+//	GET    /healthz                 liveness
 //
 // Example:
 //
@@ -20,13 +26,20 @@
 //	  "topology": "torus:8,8",
 //	  "strategy": "topolb"
 //	}'
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: session watchers
+// receive a terminal {"event":"shutdown"} JSON event, in-flight requests
+// finish, then the listener closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/service"
@@ -37,11 +50,14 @@ func main() {
 	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS, capped at 16)")
 	workers := flag.Int("workers", 1, "workers per shard")
 	queue := flag.Int("queue", 256, "admission bound: max queued+running computations (429 beyond)")
-	maxTasks := flag.Int("max-tasks", 16384, "largest accepted task count per job")
+	maxTasks := flag.Int("max-tasks", 16384, "largest accepted task count per job or session")
 	maxBatch := flag.Int("max-batch", 256, "largest accepted batch")
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache entry bound (-1 disables)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache byte bound")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute timeout")
+	maxSessions := flag.Int("max-sessions", 64, "live remapping session bound (LRU eviction beyond)")
+	watchTimeout := flag.Duration("watch-timeout", 30*time.Second, "session watch long-poll window")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	flag.Parse()
 
 	srv := service.NewServer(service.Config{
@@ -53,12 +69,34 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
 		RequestTimeout:  *timeout,
+		MaxSessions:     *maxSessions,
+		WatchTimeout:    *watchTimeout,
 	})
-	defer srv.Close()
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("topomapd: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "topomapd:", err)
 		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("topomapd: %v, shutting down\n", sig)
 	}
+
+	// Stop the service first: active watch long-polls resolve with a
+	// terminal {"event":"shutdown"} body, workers drain, new work gets
+	// 503. Then close the listener, waiting for in-flight handlers.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "topomapd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("topomapd: bye")
 }

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// IncRefineOptions configures RefineIncremental.
+type IncRefineOptions struct {
+	// MaxPasses bounds the number of full sweeps; zero means 8.
+	MaxPasses int
+	// MaxMigrations caps how many live tasks may sit away from their
+	// anchor processor at any point during refinement (the migration
+	// budget B of the online remapping loop). Negative means unlimited;
+	// zero forbids any migration.
+	MaxMigrations int
+	// MigrationCost is the hop-bytes-equivalent penalty charged per task
+	// that a candidate move/swap takes off its anchor (and credited per
+	// task it brings back). It steers refinement toward low-churn
+	// improvements — the paper's §5.1 observation that remapping gains
+	// must outweigh the cost of migrating chare state.
+	MigrationCost float64
+	// LoadTolerance bounds per-processor load growth: a task may move to a
+	// processor only while its total load stays within (1+LoadTolerance)
+	// of the average (task counts are used when all loads are zero).
+	// Zero means 0.10.
+	LoadTolerance float64
+}
+
+func (o IncRefineOptions) maxPasses() int {
+	if o.MaxPasses <= 0 {
+		return 8
+	}
+	return o.MaxPasses
+}
+
+func (o IncRefineOptions) loadTolerance() float64 {
+	if o.LoadTolerance <= 0 {
+		return 0.10
+	}
+	return o.LoadTolerance
+}
+
+// IncRefineResult reports one RefineIncremental run.
+type IncRefineResult struct {
+	// Moves and Swaps count accepted refinement steps.
+	Moves, Swaps int
+	// Migrations is the number of live tasks off their anchor processor
+	// after refinement — never more than the budget.
+	Migrations int
+	// BudgetSaturated reports whether refinement ended with the migration
+	// budget fully spent (a larger budget might have found more).
+	BudgetSaturated bool
+	// HopBytesBefore and HopBytesAfter are the totals around the run.
+	HopBytesBefore, HopBytesAfter float64
+}
+
+// RefineIncremental improves the placement in place by local moves and
+// pairwise swaps, reusing RefineTopoLB's sweep machinery on the
+// incremental state: for each live task the candidates are (a) moving it
+// to a communication partner's processor, (b) moving it to a processor
+// adjacent to its own, and (c) swapping it with a communication partner.
+// A candidate is accepted only when its hop-bytes change plus the
+// migration penalty (MigrationCost × change in off-anchor task count) is
+// strictly negative, the per-processor load bound holds, and the
+// migration budget is not exceeded. Accepted steps update the hop-bytes
+// summation tree in O(deg·log |E|).
+//
+// Candidate deltas are evaluated speculatively in parallel but applied
+// first-improving-in-candidate-order (parallel.First), so the resulting
+// placement is byte-identical for any GOMAXPROCS — the same determinism
+// contract as Refine.
+func (s *IncrementalState) RefineIncremental(opts IncRefineOptions) IncRefineResult {
+	incCounters.refineCalls.Add(1)
+	res := IncRefineResult{HopBytesBefore: s.HopBytes()}
+
+	r := &incRefiner{
+		s:         s,
+		opts:      opts,
+		procLoad:  s.ProcLoads(),
+		procCount: make([]int, s.procs),
+		migrated:  s.Migrations(),
+	}
+	totalLoad := 0.0
+	for v, l := range s.load {
+		if s.alive[v] {
+			totalLoad += l
+		}
+	}
+	tol := opts.loadTolerance()
+	if totalLoad > 0 {
+		r.loadLimit = (1 + tol) * totalLoad / float64(s.procs)
+	} else {
+		r.countLimit = int(math.Ceil((1 + tol) * float64(s.liveTasks) / float64(s.procs)))
+	}
+	for v, p := range s.proc {
+		if s.alive[v] {
+			r.procCount[p]++
+		}
+	}
+
+	n := len(s.proc)
+	for pass := 0; pass < opts.maxPasses(); pass++ {
+		improved := 0
+		for a := 0; a < n; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			improved += r.sweepTask(a)
+		}
+		res.Moves += r.moves
+		res.Swaps += r.swaps
+		r.moves, r.swaps = 0, 0
+		if improved == 0 {
+			break
+		}
+	}
+	res.Migrations = r.migrated
+	res.BudgetSaturated = opts.MaxMigrations >= 0 && r.migrated >= opts.MaxMigrations
+	res.HopBytesAfter = s.HopBytes()
+	return res
+}
+
+// incRefiner carries one RefineIncremental run's working state.
+type incRefiner struct {
+	s    *IncrementalState
+	opts IncRefineOptions
+
+	procLoad   []float64
+	procCount  []int
+	loadLimit  float64 // weighted-load bound; used when > 0
+	countLimit int     // task-count bound; used when loadLimit == 0
+	migrated   int     // live tasks currently off-anchor
+
+	moves, swaps int
+}
+
+// sweepTask replays the serial candidate scan for task a: candidates are
+// indexed moves-to-partner-procs, then moves-to-adjacent-procs, then
+// swaps-with-partners; deltas are evaluated against the frozen placement
+// speculatively in parallel; the first improving candidate by index is
+// applied and evaluation resumes after it (the sweepCandidates pattern).
+// Returns the number of accepted steps.
+func (r *incRefiner) sweepTask(a int) int {
+	s := r.s
+	partners := s.adj[a].nbr
+	topoNbrs := s.topo.Neighbors(s.proc[a])
+	nMove := len(partners) + len(topoNbrs)
+	count := nMove + len(partners)
+	accepted := 0
+	for start := 0; start < count; {
+		j := parallel.First(count-start, refineGrain, func(i int) bool {
+			return r.candidateImproves(a, partners, topoNbrs, start+i)
+		})
+		if j < 0 {
+			break
+		}
+		r.apply(a, partners, topoNbrs, start+j)
+		accepted++
+		start += j + 1
+	}
+	return accepted
+}
+
+// candidateImproves is the pure predicate handed to parallel.First: does
+// candidate idx for task a strictly improve the penalized objective while
+// respecting the load bound and the migration budget? It only reads
+// refiner state.
+func (r *incRefiner) candidateImproves(a int, partners []int32, topoNbrs []int, idx int) bool {
+	s := r.s
+	if idx < len(partners) { // move a to a partner's processor
+		return r.moveScore(a, s.proc[partners[idx]])
+	}
+	idx -= len(partners)
+	if idx < len(topoNbrs) { // move a to an adjacent processor
+		return r.moveScore(a, topoNbrs[idx])
+	}
+	// Swap a with a communication partner.
+	return r.swapScore(a, int(partners[idx-len(topoNbrs)]))
+}
+
+// moveScore evaluates moving task a to processor p.
+func (r *incRefiner) moveScore(a, p int) bool {
+	s := r.s
+	pa := s.proc[a]
+	if p == pa {
+		return false
+	}
+	// Load bound: growing p's load is only allowed up to the limit
+	// (zero-load tasks move freely — they change nothing).
+	if r.loadLimit > 0 {
+		if nl := r.procLoad[p] + s.load[a]; nl > r.loadLimit && nl > r.procLoad[p] {
+			return false
+		}
+	} else if r.procCount[p]+1 > r.countLimit {
+		return false
+	}
+	migDelta := b2i(p != s.anchor[a]) - b2i(pa != s.anchor[a])
+	if r.opts.MaxMigrations >= 0 && r.migrated+migDelta > r.opts.MaxMigrations {
+		return false
+	}
+	delta := r.moveDelta(a, p) + r.opts.MigrationCost*float64(migDelta)
+	return delta < -1e-12
+}
+
+// swapScore evaluates exchanging the processors of tasks a and b.
+func (r *incRefiner) swapScore(a, b int) bool {
+	s := r.s
+	pa, pb := s.proc[a], s.proc[b]
+	if a == b || pa == pb {
+		return false
+	}
+	if r.loadLimit > 0 {
+		la, lb := s.load[a], s.load[b]
+		nA := r.procLoad[pa] - la + lb
+		nB := r.procLoad[pb] - lb + la
+		if (nA > r.loadLimit && nA > r.procLoad[pa]) || (nB > r.loadLimit && nB > r.procLoad[pb]) {
+			return false
+		}
+	}
+	migDelta := b2i(pb != s.anchor[a]) + b2i(pa != s.anchor[b]) -
+		b2i(pa != s.anchor[a]) - b2i(pb != s.anchor[b])
+	if r.opts.MaxMigrations >= 0 && r.migrated+migDelta > r.opts.MaxMigrations {
+		return false
+	}
+	delta := r.swapDelta(a, b) + r.opts.MigrationCost*float64(migDelta)
+	return delta < -1e-12
+}
+
+// moveDelta returns the hop-bytes change from moving task a to processor
+// p: O(deg(a)) distance lookups.
+func (r *incRefiner) moveDelta(a, p int) float64 {
+	s := r.s
+	adj := &s.adj[a]
+	pa := s.proc[a]
+	delta := 0.0
+	for i, u := range adj.nbr {
+		pu := s.proc[u]
+		w := s.edgeW[adj.eid[i]]
+		delta += w * float64(s.d.dist(p, pu)-s.d.dist(pa, pu))
+	}
+	return delta
+}
+
+// swapDelta returns the hop-bytes change from swapping the processors of
+// tasks a and b; the a–b edge contributes identically before and after
+// and is skipped.
+func (r *incRefiner) swapDelta(a, b int) float64 {
+	s := r.s
+	pa, pb := s.proc[a], s.proc[b]
+	delta := 0.0
+	adjA := &s.adj[a]
+	for i, u := range adjA.nbr {
+		if int(u) == b {
+			continue
+		}
+		pu := s.proc[u]
+		delta += s.edgeW[adjA.eid[i]] * float64(s.d.dist(pb, pu)-s.d.dist(pa, pu))
+	}
+	adjB := &s.adj[b]
+	for i, u := range adjB.nbr {
+		if int(u) == a {
+			continue
+		}
+		pu := s.proc[u]
+		delta += s.edgeW[adjB.eid[i]] * float64(s.d.dist(pa, pu)-s.d.dist(pb, pu))
+	}
+	return delta
+}
+
+// apply commits candidate idx for task a, updating the placement, the
+// summation tree, per-processor loads/counts, and the migration count.
+func (r *incRefiner) apply(a int, partners []int32, topoNbrs []int, idx int) {
+	s := r.s
+	if idx < len(partners)+len(topoNbrs) {
+		p := 0
+		if idx < len(partners) {
+			p = s.proc[partners[idx]]
+		} else {
+			p = topoNbrs[idx-len(partners)]
+		}
+		pa := s.proc[a]
+		r.migrated += b2i(p != s.anchor[a]) - b2i(pa != s.anchor[a])
+		r.procLoad[pa] -= s.load[a]
+		r.procLoad[p] += s.load[a]
+		r.procCount[pa]--
+		r.procCount[p]++
+		s.moveTask(a, p)
+		r.moves++
+		incCounters.refineMoves.Add(1)
+		return
+	}
+	b := int(partners[idx-len(partners)-len(topoNbrs)])
+	pa, pb := s.proc[a], s.proc[b]
+	r.migrated += b2i(pb != s.anchor[a]) + b2i(pa != s.anchor[b]) -
+		b2i(pa != s.anchor[a]) - b2i(pb != s.anchor[b])
+	la, lb := s.load[a], s.load[b]
+	r.procLoad[pa] += lb - la
+	r.procLoad[pb] += la - lb
+	s.moveTask(a, pb)
+	s.moveTask(b, pa)
+	r.swaps++
+	incCounters.refineSwaps.Add(1)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

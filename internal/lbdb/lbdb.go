@@ -22,29 +22,30 @@ import (
 // ChareStats is one chare's instrumentation record.
 type ChareStats struct {
 	// Load is the measured computation time (seconds of work).
-	Load float64
+	Load float64 `json:"load"`
 	// Proc is the processor the chare ran on during instrumentation.
-	Proc int
+	Proc int `json:"proc"`
 }
 
 // Comm is the measured communication between a pair of chares (summed
 // over both directions).
 type Comm struct {
-	From, To int32
-	Bytes    float64
+	From  int32   `json:"from"`
+	To    int32   `json:"to"`
+	Bytes float64 `json:"bytes"`
 }
 
 // Database is a dump of one load-balancing step.
 type Database struct {
 	// Step is the load-balancing step number this dump captures.
-	Step int
+	Step int `json:"step,omitempty"`
 	// NumProcs is the processor count of the instrumented run.
-	NumProcs int
+	NumProcs int `json:"num_procs"`
 	// Chares holds per-chare load and placement.
-	Chares []ChareStats
+	Chares []ChareStats `json:"chares"`
 	// Comms holds pairwise communication records (From < To, no
 	// duplicates).
-	Comms []Comm
+	Comms []Comm `json:"comms,omitempty"`
 }
 
 // Validate checks structural invariants.

@@ -1,17 +1,20 @@
 package metrics
 
 import (
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
 
 // SystemCounters aggregates the process-wide reuse counters that the
 // serving path amortizes across requests: the shared distance-matrix
-// cache and the netsim engine pool. The mapping service exposes it at
-// /stats; cmd/topomap includes it in -json output.
+// cache, the netsim engine pool, and the incremental remapping engine.
+// The mapping service exposes it at /stats; cmd/topomap includes it in
+// -json output.
 type SystemCounters struct {
 	DistMatrixCache topology.DistCacheStats `json:"dist_matrix_cache"`
 	EnginePool      EnginePoolCounters      `json:"engine_pool"`
+	Incremental     core.IncCounters        `json:"incremental"`
 }
 
 // EnginePoolCounters is netsim.PoolStats with the derived reuse count
@@ -34,5 +37,6 @@ func Counters() SystemCounters {
 			News:   pool.News,
 			Reuses: pool.Reuses(),
 		},
+		Incremental: core.IncrementalCounters(),
 	}
 }

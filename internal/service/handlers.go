@@ -9,18 +9,28 @@ import (
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /v1/map        one job, synchronous; body = Job JSON
-//	POST /v1/batch      {"jobs":[Job,...]}; per-job results in job order
-//	POST /v1/jobs       async submit; returns {"id":...}
-//	GET  /v1/jobs/{id}  poll; fetching a finished job consumes it
-//	GET  /stats         counters (service, caches, engine pool)
-//	GET  /healthz       liveness
+//	POST   /v1/map                  one job, synchronous; body = Job JSON
+//	POST   /v1/batch                {"jobs":[Job,...]}; per-job results in job order
+//	POST   /v1/jobs                 async submit; returns {"id":...}
+//	GET    /v1/jobs/{id}            poll; fetching a finished job consumes it
+//	POST   /v1/sessions             register a live remapping session; body = SessionSpec
+//	GET    /v1/sessions/{id}        session snapshot (version, hop-bytes, mapping)
+//	DELETE /v1/sessions/{id}        close a session; watchers get a "closed" event
+//	POST   /v1/sessions/{id}/deltas apply a delta batch, maybe push a remap
+//	GET    /v1/sessions/{id}/watch  long-poll for the next pushed mapping
+//	GET    /stats                   counters (service, sessions, caches, engine pool)
+//	GET    /healthz                 liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleFetch)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.handleSessionDeltas)
+	mux.HandleFunc("GET /v1/sessions/{id}/watch", s.handleSessionWatch)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeBody(w, []byte(`{"ok":true}`))

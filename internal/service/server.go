@@ -74,6 +74,15 @@ type Config struct {
 	// RequestTimeout bounds one sync or batch request's wait; async jobs
 	// use it per job. Default 60s.
 	RequestTimeout time.Duration
+	// MaxSessions bounds live remapping sessions; creating one beyond it
+	// evicts the least-recently-used session. Default 64.
+	MaxSessions int
+	// WatchTimeout bounds one session watch long-poll; on expiry the
+	// watcher gets a "timeout" event and should poll again. Default 30s.
+	WatchTimeout time.Duration
+	// MaxSessionEdges bounds one session's communication edges. Default
+	// 1<<20.
+	MaxSessionEdges int
 
 	// noWorkers leaves the shard queues undrained. Only settable from
 	// this package: tests use it to pin queue-full and cancellation
@@ -116,6 +125,15 @@ func (c *Config) withDefaults() Config {
 	if out.RequestTimeout <= 0 {
 		out.RequestTimeout = 60 * time.Second
 	}
+	if out.MaxSessions <= 0 {
+		out.MaxSessions = 64
+	}
+	if out.WatchTimeout <= 0 {
+		out.WatchTimeout = 30 * time.Second
+	}
+	if out.MaxSessionEdges <= 0 {
+		out.MaxSessionEdges = 1 << 20
+	}
 	return out
 }
 
@@ -132,7 +150,8 @@ type Server struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
-	async asyncStore
+	async    asyncStore
+	sessions sessionStore
 
 	stats serverStats
 }
@@ -149,6 +168,17 @@ type serverStats struct {
 	clientErrors   atomic.Int64
 	writeFailures  atomic.Int64
 	jobsRunning    atomic.Int64 // gauge: claimed, not yet finished
+
+	// Session counters (see session.go).
+	sessionsCreated  atomic.Int64
+	sessionsClosed   atomic.Int64
+	sessionsEvicted  atomic.Int64
+	sessionDeltas    atomic.Int64
+	remapsPushed     atomic.Int64
+	remapsSuppressed atomic.Int64
+	watchRequests    atomic.Int64
+	watchTimeouts    atomic.Int64
+	watchersActive   atomic.Int64 // gauge: watch long-polls parked right now
 }
 
 // NewServer builds a running server (workers started) with cfg defaults
@@ -164,6 +194,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.async.init(cfg.MaxAsync)
+	s.sessions.init(cfg.MaxSessions)
 	for i := range s.shards {
 		// Each shard's queue can hold every admitted flight, so an
 		// admitted flight always enqueues without blocking even when all
@@ -370,6 +401,19 @@ type Stats struct {
 		Bytes     int64 `json:"bytes"`
 	} `json:"result_cache"`
 
+	Sessions struct {
+		Active           int   `json:"active"`
+		Created          int64 `json:"created"`
+		Closed           int64 `json:"closed"`
+		Evicted          int64 `json:"evicted"`
+		DeltasApplied    int64 `json:"deltas_applied"`
+		RemapsPushed     int64 `json:"remaps_pushed"`
+		RemapsSuppressed int64 `json:"remaps_suppressed"`
+		WatchRequests    int64 `json:"watch_requests"`
+		WatchTimeouts    int64 `json:"watch_timeouts"`
+		WatchersActive   int64 `json:"watchers_active"`
+	} `json:"sessions"`
+
 	QueueDepth int `json:"queue_depth"` // admitted computations right now
 	QueueCap   int `json:"queue_cap"`
 	Shards     int `json:"shards"`
@@ -398,6 +442,16 @@ func (s *Server) Snapshot() Stats {
 	st.ResultCache.Evictions = evictions
 	st.ResultCache.Entries = entries
 	st.ResultCache.Bytes = bytes
+	st.Sessions.Active = s.sessions.active()
+	st.Sessions.Created = s.stats.sessionsCreated.Load()
+	st.Sessions.Closed = s.stats.sessionsClosed.Load()
+	st.Sessions.Evicted = s.stats.sessionsEvicted.Load()
+	st.Sessions.DeltasApplied = s.stats.sessionDeltas.Load()
+	st.Sessions.RemapsPushed = s.stats.remapsPushed.Load()
+	st.Sessions.RemapsSuppressed = s.stats.remapsSuppressed.Load()
+	st.Sessions.WatchRequests = s.stats.watchRequests.Load()
+	st.Sessions.WatchTimeouts = s.stats.watchTimeouts.Load()
+	st.Sessions.WatchersActive = s.stats.watchersActive.Load()
 	st.QueueDepth = len(s.admit)
 	st.QueueCap = cap(s.admit)
 	st.Shards = len(s.shards)
