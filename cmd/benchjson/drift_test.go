@@ -82,6 +82,12 @@ func TestHotpathAnnotationsMatchBenchCases(t *testing.T) {
 		filepath.Join("..", "..", "internal", "parallel"): {
 			"ArgMax", "ArgMin", "First", "For", "Map", "Reduce",
 		},
+		// sfc's dynamic guard is the geometric suite's encode/ zero-alloc
+		// gate (geometricZeroAllocViolations), active in every run mode.
+		filepath.Join("..", "..", "internal", "sfc"): {
+			"HilbertDecode2", "HilbertDecode3", "HilbertEncode2", "HilbertEncode3",
+			"MortonDecode2", "MortonDecode3", "MortonEncode2", "MortonEncode3",
+		},
 	}
 	for dir, expect := range want {
 		got := hotpathRoots(t, dir)
@@ -115,6 +121,30 @@ func TestZeroAllocPrefixesCovered(t *testing.T) {
 				t.Errorf("%s case list has no %q case; the zero-alloc guard cannot cover that family", listName, prefix)
 			}
 		}
+	}
+}
+
+// TestGeometricEncodeGateCovered checks the geometric suite always
+// carries encode/ rows (they are unconditional, including smoke) and the
+// gate actually trips on an allocating encode row.
+func TestGeometricEncodeGateCovered(t *testing.T) {
+	found := false
+	for _, c := range encodeCases() {
+		if strings.HasPrefix(c.name, "encode/") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("geometric suite has no encode/ case; the curve zero-alloc gate covers nothing")
+	}
+	got := geometricZeroAllocViolations([]Result{
+		{Name: "encode/hilbert2", Mode: "optimized", AllocsPerOp: 0},
+		{Name: "encode/morton2", Mode: "optimized", AllocsPerOp: 3},
+		{Name: "sfc/stencil9:64,64/torus:16,16", Mode: "optimized", AllocsPerOp: 99},
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "encode/morton2") {
+		t.Errorf("geometricZeroAllocViolations = %v, want exactly the encode/morton2 violation", got)
 	}
 }
 

@@ -1,0 +1,314 @@
+package main
+
+// The geometric suite records the near-linear mapping tier: "baseline"
+// is the flat two-phase pipeline (partition.Multilevel + TopoLB on the
+// quotient — the same flatPlace the multilevel suite uses), "optimized"
+// rows are the geometric strategies and the service's auto portfolio on
+// the same workload. Row naming: the baseline row carries the bare case
+// name; optimized rows prefix it with the strategy ("sfc/...",
+// "rcb-sfc/...", "auto/..."), each carrying speedup and hop_bytes_ratio
+// (strategy ÷ flat) against the case's baseline. The curve-codec
+// microbenchmarks ("encode/...") are optimized-only and sit under the
+// suite's zero-alloc gate: an encode hotpath that allocates fails the
+// run, smoke or full.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/sfc"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// geoCase is one (pattern, machine) size point. flat gates the baseline
+// row; auto gates the service-portfolio row (only where the job fits the
+// service's task bound and the portfolio is worth timing end-to-end).
+type geoCase struct {
+	name    string
+	pattern string
+	topoStr string
+	g       *taskgraph.Graph
+	topo    topology.Topology
+	coords  [][]float64
+	flat    bool
+	auto    bool
+}
+
+func newGeoCase(pattern, topoStr string, flat, auto bool) geoCase {
+	g, err := cliutil.ParsePattern(pattern, 1e5, 1)
+	if err != nil {
+		panic(err)
+	}
+	topo, err := cliutil.ParseAnyTopology(topoStr)
+	if err != nil {
+		panic(err)
+	}
+	return geoCase{
+		name:    pattern + "/" + topoStr,
+		pattern: pattern,
+		topoStr: topoStr,
+		g:       g,
+		topo:    topo,
+		coords:  cliutil.PatternCoords(pattern, 1),
+		flat:    flat,
+		auto:    auto,
+	}
+}
+
+// geometricCases grows from the service-sized jobs to the 262144-task
+// stencil headline (the acceptance row: sfc/rcb-sfc ≥10× faster than the
+// flat TopoLB pipeline at ≤1.3× its hop-bytes) and a million-task
+// optimized-only point. Large graphs are built lazily by gating on quick.
+func geometricCases(quick bool) []geoCase {
+	cs := []geoCase{
+		newGeoCase("stencil9:64,64", "torus:16,16", true, true),
+		newGeoCase("stencil9:128,128", "torus:16,16", true, true),
+	}
+	if !quick {
+		cs = append(cs,
+			newGeoCase("rgg:65536,8", "torus:32,32", true, false),
+			newGeoCase("stencil9:512,512", "torus:32,32", true, false),
+			// p=65536 would need a 65536² distance matrix for the flat
+			// pipeline; the near-linear tier runs it easily.
+			newGeoCase("stencil9:1024,1024", "torus:64,32,32", false, false),
+		)
+	}
+	return cs
+}
+
+// encodeCases are the curve-codec microbenchmarks: one op encodes a
+// 4096-point batch, so per-op cost is the amortized per-point cost × 4096
+// and the zero-alloc gate sees steady-state behavior. Every row must
+// report 0 allocs/op.
+func encodeCases() []benchCase {
+	const batch = 4096
+	const order2, order3 = 16, 12
+	return []benchCase{
+		{name: "encode/morton2", run: func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				for v := uint32(0); v < batch; v++ {
+					sink += sfc.MortonEncode2(v, v^0x2a)
+				}
+			}
+			_ = sink
+		}},
+		{name: "encode/morton3", run: func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				for v := uint32(0); v < batch; v++ {
+					sink += sfc.MortonEncode3(v, v^0x2a, v^0x155)
+				}
+			}
+			_ = sink
+		}},
+		{name: "encode/hilbert2", run: func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				for v := uint32(0); v < batch; v++ {
+					sink += sfc.HilbertEncode2(order2, v, v^0x2a)
+				}
+			}
+			_ = sink
+		}},
+		{name: "encode/hilbert3", run: func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				for v := uint32(0); v < batch; v++ {
+					sink += sfc.HilbertEncode3(order3, v, v^0x2a, v^0x155)
+				}
+			}
+			_ = sink
+		}},
+		{name: "encode/hilbert2-roundtrip", run: func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				for v := uint32(0); v < batch; v++ {
+					x, y := sfc.HilbertDecode2(order2, sfc.HilbertEncode2(order2, v, v^0x2a))
+					sink += x + y
+				}
+			}
+			_ = sink
+		}},
+	}
+}
+
+// benchResult converts one testing.Benchmark run to a Result row.
+func benchResult(name, mode string, r testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Mode:        mode,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// placeRow benchmarks one geometric Placer on a case and derives speedup
+// and hop-bytes ratio against the case's flat baseline.
+func placeRow(name string, p core.Placer, c geoCase, baseNs, hbFlat float64) Result {
+	var pl []int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := p.Place(c.g, c.topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl = out
+		}
+	})
+	row := benchResult(name+"/"+c.name, "optimized", r)
+	if baseNs > 0 && row.NsPerOp > 0 {
+		row.Speedup = baseNs / row.NsPerOp
+	}
+	if hbFlat > 0 {
+		row.HopBytesRatio = core.HopBytes(c.g, c.topo, pl) / hbFlat
+	}
+	return row
+}
+
+// autoRow drives the service's auto portfolio end-to-end over HTTP: each
+// iteration posts the job with a fresh job seed, so every request misses
+// the result cache and the row measures a full portfolio computation plus
+// encoding. The hop-bytes ratio comes from the seed-1 response.
+func autoRow(c geoCase, hbFlat float64) (Result, error) {
+	srv := service.NewServer(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(seed int64) (*http.Response, error) {
+		job := service.Job{
+			Graph:    service.GraphSpec{Pattern: c.pattern, MsgBytes: 1e5, Seed: 1},
+			Topology: c.topoStr,
+			Strategy: "auto",
+			Seed:     seed,
+		}
+		payload, err := json.Marshal(job)
+		if err != nil {
+			return nil, err
+		}
+		return ts.Client().Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(payload))
+	}
+
+	resp, err := post(1)
+	if err != nil {
+		return Result{}, err
+	}
+	var res struct {
+		HopBytes float64 `json:"hop_bytes"`
+		Auto     struct {
+			Winner string `json:"winner"`
+		} `json:"auto"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	//lint:ignore errcheck closing an httptest response body cannot fail in a way that affects the measurement
+	resp.Body.Close()
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.StatusCode != 200 {
+		return Result{}, fmt.Errorf("auto %s: status %d", c.name, resp.StatusCode)
+	}
+
+	seed := int64(1)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seed++
+			resp, err := post(seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			//lint:ignore errcheck closing an httptest response body cannot fail in a way that affects the measurement
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	row := benchResult("auto/"+c.name, "optimized", r)
+	if hbFlat > 0 {
+		row.HopBytesRatio = res.HopBytes / hbFlat
+	}
+	return row, nil
+}
+
+// runGeometricSuite measures the curve codecs and every size point:
+// flat baseline where feasible, then sfc, rcb-sfc, and (on service-sized
+// cases) the auto portfolio against it.
+func runGeometricSuite(quick, smoke bool) []Result {
+	var results []Result
+	for _, c := range encodeCases() {
+		results = append(results, benchResult(c.name, "optimized", testing.Benchmark(c.run)))
+	}
+	cs := geometricCases(quick || smoke)
+	if smoke {
+		cs = cs[:1]
+	}
+	for _, c := range cs {
+		var baseNs, hbFlat float64
+		if c.flat {
+			var pl []int
+			if _, err := flatPlace(c.g, c.topo); err != nil { // warm distance matrix
+				fmt.Println("benchjson: flat", c.name, "failed:", err)
+				continue
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := flatPlace(c.g, c.topo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pl = out
+				}
+			})
+			baseNs = float64(r.T.Nanoseconds()) / float64(r.N)
+			hbFlat = core.HopBytes(c.g, c.topo, pl)
+			results = append(results, benchResult(c.name, "baseline", r))
+		}
+		results = append(results,
+			placeRow("sfc", core.SFC{Coords: c.coords}, c, baseNs, hbFlat),
+			placeRow("rcb-sfc", core.RCBSFC{Coords: c.coords}, c, baseNs, hbFlat))
+		if c.auto && !smoke {
+			row, err := autoRow(c, hbFlat)
+			if err != nil {
+				fmt.Println("benchjson: auto", c.name, "failed:", err)
+				continue
+			}
+			results = append(results, row)
+		}
+	}
+	return results
+}
+
+// geometricZeroAllocViolations enforces the curve-codec contract: every
+// encode/ row must run allocation-free. This is the dynamic side of the
+// //lint:hotpath annotations in internal/sfc.
+func geometricZeroAllocViolations(results []Result) []string {
+	var out []string
+	for _, r := range results {
+		if r.Mode == "optimized" && len(r.Name) >= 7 && r.Name[:7] == "encode/" && r.AllocsPerOp != 0 {
+			out = append(out, fmt.Sprintf("%s: %d allocs/op on the curve encode hotpath, want 0", r.Name, r.AllocsPerOp))
+		}
+	}
+	return out
+}

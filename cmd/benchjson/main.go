@@ -24,10 +24,15 @@
 //     observation, "optimized" = one O(deg) delta applied to a live
 //     core.IncrementalState. RefineIncremental and the end-to-end
 //     topomapd session delta→remap round trip are optimized-only rows.
+//   - suite "geometric" (BENCH_geometric.json): the near-linear mapping
+//     tier, "baseline" = the flat two-phase pipeline, "optimized" = the
+//     sfc and rcb-sfc strategies plus the service's auto portfolio on the
+//     same workloads, with hop_bytes_ratio against the flat baseline. The
+//     curve-codec encode/ rows are gated to 0 allocs/op in every mode.
 //
 // Usage:
 //
-//	benchjson [-suite mapping|netsim|multilevel|service|incremental] [-out FILE] [-quick] [-smoke]
+//	benchjson [-suite mapping|netsim|multilevel|service|incremental|geometric] [-out FILE] [-quick] [-smoke]
 //
 // Regenerate the matching BENCH_*.json after touching a suite's kernels;
 // the speedup column of the optimized entries against their baseline
@@ -181,7 +186,7 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service | incremental")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service | incremental | geometric")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
 	smoke := flag.Bool("smoke", false, "netsim/multilevel/service suites: tiny CI subset, write nothing unless -out is set")
@@ -197,6 +202,8 @@ func main() {
 		results = runMultilevelSuite(*quick, *smoke)
 	case "incremental":
 		results = runIncrementalSuite(*quick, *smoke)
+	case "geometric":
+		results = runGeometricSuite(*quick, *smoke)
 	case "service":
 		// The service suite measures a load grid (QPS, latency percentiles,
 		// cache hit rates), not ns/op micro-benchmarks, so it writes its own
@@ -210,17 +217,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(2)
 	}
-	if *suite == "netsim" {
-		// The hot-path zero-allocation contract is part of the suite: any
-		// optimized Hotspot/Buffered/Wormhole row that allocates in steady
-		// state is a regression, whether the run is a smoke check or a full
-		// recording.
-		if violations := zeroAllocViolations(results); len(violations) > 0 {
-			for _, v := range violations {
-				fmt.Fprintln(os.Stderr, "benchjson: zero-alloc violation:", v)
-			}
-			os.Exit(1)
+	// The hot-path zero-allocation contracts are part of their suites:
+	// any gated optimized row that allocates in steady state is a
+	// regression, whether the run is a smoke check or a full recording.
+	var violations []string
+	switch *suite {
+	case "netsim":
+		violations = zeroAllocViolations(results)
+	case "geometric":
+		violations = geometricZeroAllocViolations(results)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: zero-alloc violation:", v)
 		}
+		os.Exit(1)
 	}
 	if *smoke && *out == "" {
 		// Smoke runs are CI health checks: print the optimized rows and

@@ -97,7 +97,15 @@ func main() {
 
 	strats, err := cliutil.ParseStrategies(*strategies, *seed)
 	fatalIf(err)
+	// Geometric strategies consume the pattern's coordinates when the
+	// pattern has them; graph files carry no geometry, so those jobs use
+	// the BFS fallback.
+	var coords [][]float64
+	if *patSpec != "" {
+		coords = cliutil.PatternCoords(*patSpec, *seed)
+	}
 	for _, strat := range strats {
+		strat = cliutil.WithCoords(strat, coords)
 		if *refine {
 			strat = core.RefineTopoLB{Base: strat}
 		}

@@ -142,8 +142,8 @@ func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error
 // StrategyNames lists the names ParseStrategy accepts.
 func StrategyNames() []string {
 	return []string{"topolb", "topolb1", "topolb3", "topolb+refine",
-		"topocentlb", "multilevel", "random", "identity", "bokhari",
-		"annealing", "genetic", "arm", "hybrid:BXxBY[x...]"}
+		"topocentlb", "multilevel", "sfc", "rcb-sfc", "random", "identity",
+		"bokhari", "annealing", "genetic", "arm", "hybrid:BXxBY[x...]"}
 }
 
 // ParseStrategy resolves a strategy name (see StrategyNames). The hybrid
@@ -174,6 +174,13 @@ func ParseStrategy(name string, seed int64) (core.Strategy, error) {
 		return core.TopoCentLB{}, nil
 	case "multilevel":
 		return core.MultilevelMap{}, nil
+	case "sfc":
+		// Coordinates are injected afterwards via WithCoords where the
+		// caller knows the pattern's geometry; without them the strategy
+		// uses its graph-BFS fallback order.
+		return core.SFC{}, nil
+	case "rcb-sfc":
+		return core.RCBSFC{}, nil
 	case "random":
 		return core.Random{Seed: seed}, nil
 	case "identity":
@@ -190,6 +197,84 @@ func ParseStrategy(name string, seed int64) (core.Strategy, error) {
 		return nil, fmt.Errorf("cliutil: unknown strategy %q (known: %s)",
 			name, strings.Join(StrategyNames(), ", "))
 	}
+}
+
+// PatternCoords returns the task positions of a pattern spec for the
+// coordinate-consuming strategies (sfc, rcb-sfc, and RCB partitioning):
+// grid patterns get their lattice coordinates (matching the builders'
+// id = x*ry + y numbering), ring a line coordinate, leanmd its 3D cell
+// grid, and rgg the exact points RandomGeometricDeg connected for the
+// same seed. Patterns without meaningful geometry (alltoall, transpose,
+// bintree, butterfly, random) return nil — the strategies fall back to
+// their graph-BFS order. Invalid specs also return nil; ParsePattern is
+// the place that reports them.
+func PatternCoords(spec string, seed int64) [][]float64 {
+	kind, args, err := splitSpec(spec)
+	if err != nil {
+		return nil
+	}
+	for _, a := range args {
+		if a < 1 {
+			return nil
+		}
+	}
+	grid2 := func(rx, ry int) [][]float64 {
+		coords := make([][]float64, rx*ry)
+		for x := 0; x < rx; x++ {
+			for y := 0; y < ry; y++ {
+				coords[x*ry+y] = []float64{float64(x), float64(y)}
+			}
+		}
+		return coords
+	}
+	switch {
+	case (kind == "mesh2d" || kind == "torus2d" || kind == "stencil9" || kind == "wavefront") && len(args) == 2:
+		return grid2(args[0], args[1])
+	case kind == "mesh3d" && len(args) == 3:
+		rx, ry, rz := args[0], args[1], args[2]
+		coords := make([][]float64, rx*ry*rz)
+		for x := 0; x < rx; x++ {
+			for y := 0; y < ry; y++ {
+				for z := 0; z < rz; z++ {
+					coords[(x*ry+y)*rz+z] = []float64{float64(x), float64(y), float64(z)}
+				}
+			}
+		}
+		return coords
+	case kind == "ring" && len(args) == 1:
+		coords := make([][]float64, args[0])
+		for i := range coords {
+			coords[i] = []float64{float64(i)}
+		}
+		return coords
+	case kind == "leanmd" && len(args) == 1:
+		return taskgraph.LeanMDCoords(args[0])
+	case kind == "rgg" && len(args) == 2 && args[0] >= 2:
+		return taskgraph.RandomGeometricCoords(args[0], seed)
+	default:
+		return nil
+	}
+}
+
+// WithCoords injects task coordinates into the strategies that consume
+// them (sfc, rcb-sfc); every other strategy passes through unchanged.
+// nil coords are a no-op, preserving the BFS fallback.
+func WithCoords(s core.Strategy, coords [][]float64) core.Strategy {
+	if coords == nil {
+		return s
+	}
+	switch st := s.(type) {
+	case core.SFC:
+		st.Coords = coords
+		return st
+	case core.RCBSFC:
+		st.Coords = coords
+		return st
+	case core.RefineTopoLB:
+		st.Base = WithCoords(st.Base, coords)
+		return st
+	}
+	return s
 }
 
 // ParseStrategies resolves a comma-separated strategy list.

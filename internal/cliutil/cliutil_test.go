@@ -3,6 +3,9 @@ package cliutil
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgraph"
 )
 
 func TestParseInts(t *testing.T) {
@@ -90,7 +93,8 @@ func TestParsePattern(t *testing.T) {
 
 func TestParseStrategyAll(t *testing.T) {
 	for _, name := range []string{"topolb", "topolb1", "topolb3", "topolb+refine",
-		"topocentlb", "random", "identity", "bokhari", "annealing", "genetic", "arm"} {
+		"topocentlb", "multilevel", "sfc", "rcb-sfc", "random", "identity",
+		"bokhari", "annealing", "genetic", "arm"} {
 		s, err := ParseStrategy(name, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -136,5 +140,59 @@ func TestParseStrategies(t *testing.T) {
 	}
 	if _, err := ParseStrategies("topolb,bogus", 1); err == nil {
 		t.Error("want error for bogus entry")
+	}
+}
+
+func TestPatternCoords(t *testing.T) {
+	// Grid geometry matches the builders' id = x*ry + y numbering.
+	coords := PatternCoords("stencil9:3,5", 1)
+	if len(coords) != 15 {
+		t.Fatalf("stencil9:3,5 coords = %d rows", len(coords))
+	}
+	if c := coords[2*5+3]; c[0] != 2 || c[1] != 3 {
+		t.Errorf("coords[13] = %v, want [2 3]", c)
+	}
+	if c := PatternCoords("mesh3d:2,3,4", 1); len(c) != 24 || len(c[23]) != 3 {
+		t.Errorf("mesh3d coords shape wrong: %d rows", len(c))
+	}
+	if c := PatternCoords("ring:7", 1); len(c) != 7 || c[6][0] != 6 {
+		t.Errorf("ring coords wrong: %v", c)
+	}
+	if c := PatternCoords("leanmd:4", 1); len(c) == 0 {
+		t.Error("leanmd coords empty")
+	}
+	// rgg coords reproduce the generator's points for the same seed.
+	c := PatternCoords("rgg:100,4", 42)
+	want := taskgraph.RandomGeometricCoords(100, 42)
+	for i := range c {
+		if c[i][0] != want[i][0] || c[i][1] != want[i][1] {
+			t.Fatalf("rgg coords diverge from generator at %d", i)
+		}
+	}
+	// Geometry-free patterns and malformed specs return nil.
+	for _, spec := range []string{"alltoall:16", "transpose:8", "random:64,128", "bogus", "mesh2d:0,4"} {
+		if c := PatternCoords(spec, 1); c != nil {
+			t.Errorf("PatternCoords(%q) = %d rows, want nil", spec, len(c))
+		}
+	}
+}
+
+func TestWithCoords(t *testing.T) {
+	coords := PatternCoords("mesh2d:4,4", 1)
+	if s := WithCoords(core.SFC{}, coords).(core.SFC); len(s.Coords) != 16 {
+		t.Error("WithCoords did not inject into SFC")
+	}
+	if s := WithCoords(core.RCBSFC{}, coords).(core.RCBSFC); len(s.Coords) != 16 {
+		t.Error("WithCoords did not inject into RCBSFC")
+	}
+	r := WithCoords(core.RefineTopoLB{Base: core.SFC{}}, coords).(core.RefineTopoLB)
+	if len(r.Base.(core.SFC).Coords) != 16 {
+		t.Error("WithCoords did not reach through RefineTopoLB")
+	}
+	if s := WithCoords(core.TopoLB{}, coords); s.Name() != (core.TopoLB{}).Name() {
+		t.Error("WithCoords changed a non-geometric strategy")
+	}
+	if s := WithCoords(core.SFC{}, nil).(core.SFC); s.Coords != nil {
+		t.Error("nil coords must be a no-op")
 	}
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// gridCoords2 returns the [x, y] positions matching the taskgraph grid
+// builders' vertex numbering (id = x*ry + y).
+func gridCoords2(rx, ry int) [][]float64 {
+	coords := make([][]float64, rx*ry)
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			coords[x*ry+y] = []float64{float64(x), float64(y)}
+		}
+	}
+	return coords
+}
+
+// checkSurjection fails unless placement maps n tasks onto all p
+// processors with balanced loads (⌊n/p⌋ or ⌈n/p⌉ tasks each).
+func checkSurjection(t *testing.T, placement []int, n, p int) {
+	t.Helper()
+	if len(placement) != n {
+		t.Fatalf("placement has %d entries for %d tasks", len(placement), n)
+	}
+	loads := make([]int, p)
+	for v, q := range placement {
+		if q < 0 || q >= p {
+			t.Fatalf("task %d on processor %d (machine has %d)", v, q, p)
+		}
+		loads[q]++
+	}
+	lo, hi := n/p, (n+p-1)/p
+	for q, l := range loads {
+		if l < lo || l > hi {
+			t.Fatalf("processor %d has %d tasks, want %d-%d", q, l, lo, hi)
+		}
+	}
+}
+
+func TestSFCPlaceStencil(t *testing.T) {
+	g := taskgraph.Stencil9(32, 32, 1e5)
+	to := topology.MustTorus(8, 8)
+	s := SFC{Coords: gridCoords2(32, 32)}
+	pl, err := s.Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSurjection(t, pl, 1024, 64)
+	// The curve order must beat a random placement comfortably on a
+	// spatial workload.
+	rm, err := Random{Seed: 1}.Map(taskgraph.Stencil9(8, 8, 1e5), to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbRandom := HopBytes(taskgraph.Stencil9(8, 8, 1e5), to, rm) * 16 // scale to n=1024 edges roughly
+	if hb := HopBytes(g, to, pl); hb > hbRandom*4 {
+		t.Fatalf("sfc hop-bytes %g not competitive (random 8x8 scaled ≈ %g)", hb, hbRandom)
+	}
+}
+
+func TestSFCMapBijection(t *testing.T) {
+	g := taskgraph.Stencil9(16, 16, 1e5)
+	to := topology.MustTorus(16, 16)
+	m, err := (SFC{Coords: gridCoords2(16, 16)}).Map(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 256)
+	for _, q := range m {
+		if seen[q] {
+			t.Fatalf("processor %d mapped twice", q)
+		}
+		seen[q] = true
+	}
+}
+
+func TestSFCBFSFallback(t *testing.T) {
+	// No coordinates: the BFS order still produces a balanced placement.
+	g := taskgraph.Stencil9(16, 16, 1e5)
+	to := topology.MustTorus(4, 4)
+	pl, err := (SFC{}).Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSurjection(t, pl, 256, 16)
+}
+
+func TestSFCCoordErrors(t *testing.T) {
+	g := taskgraph.Stencil9(4, 4, 1e5)
+	to := topology.MustTorus(2, 2)
+	if _, err := (SFC{Coords: gridCoords2(2, 2)}).Place(g, to); err == nil {
+		t.Error("length-mismatched coords accepted")
+	}
+	if _, err := (SFC{Coords: gridCoords2(4, 4)}).Place(taskgraph.Stencil9(1, 2, 1e5), to); err == nil {
+		t.Error("n < p accepted")
+	}
+}
+
+func TestRCBSFCPlaceStencil(t *testing.T) {
+	g := taskgraph.Stencil9(32, 32, 1e5)
+	to := topology.MustTorus(8, 8)
+	s := RCBSFC{Coords: gridCoords2(32, 32)}
+	pl, err := s.Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 1024 {
+		t.Fatalf("placement has %d entries", len(pl))
+	}
+	used := make([]bool, 64)
+	for v, q := range pl {
+		if q < 0 || q >= 64 {
+			t.Fatalf("task %d on processor %d", v, q)
+		}
+		used[q] = true
+	}
+	for q, u := range used {
+		if !u {
+			t.Fatalf("processor %d received no tasks", q)
+		}
+	}
+}
+
+func TestRCBSFCFallsBackWithoutCoords(t *testing.T) {
+	g := taskgraph.Stencil9(8, 8, 1e5)
+	to := topology.MustTorus(4, 4)
+	got, err := (RCBSFC{}).Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (SFC{}).Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("coordinate-free rcb-sfc diverges from sfc at task %d", v)
+		}
+	}
+}
+
+// TestGeometricDeterministicAcrossGOMAXPROCS requires bit-identical
+// placements from both strategies at GOMAXPROCS 1, 2 and 8.
+func TestGeometricDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	g := taskgraph.RandomGeometricDeg(4096, 8, 1e5, 3)
+	coords := taskgraph.RandomGeometricCoords(4096, 3)
+	to := topology.MustTorus(8, 8)
+	for _, s := range []Placer{SFC{Coords: coords}, RCBSFC{Coords: coords}, SFC{}, RCBSFC{}} {
+		var ref []int
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			pl, err := s.Place(g, to)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if ref == nil {
+				ref = pl
+				continue
+			}
+			for v := range pl {
+				if pl[v] != ref[v] {
+					t.Fatalf("%s: GOMAXPROCS=%d diverges at task %d: %d != %d",
+						s.Name(), procs, v, pl[v], ref[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSFCQualityOnStencil pins the quality story the BENCH file records:
+// on a spatial stencil, the curve placement's hop-bytes stays within a
+// small factor of the flat TopoLB pipeline's.
+func TestSFCQualityOnStencil(t *testing.T) {
+	g := taskgraph.Stencil9(32, 32, 1e5)
+	to := topology.MustTorus(8, 8)
+	coords := gridCoords2(32, 32)
+	ml, err := MultilevelMap{}.Place(g, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbML := HopBytes(g, to, ml)
+	for _, s := range []Placer{SFC{Coords: coords}, RCBSFC{Coords: coords}} {
+		pl, err := s.Place(g, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hb := HopBytes(g, to, pl); hb > 2*hbML {
+			t.Errorf("%s hop-bytes %g vs multilevel %g: worse than 2x", s.Name(), hb, hbML)
+		}
+	}
+}

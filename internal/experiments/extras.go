@@ -24,6 +24,7 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 		"extras-modern":     func() (*Table, error) { return ExtrasModern(quick) },
 		"extras-buffered":   func() (*Table, error) { return ExtrasBuffered(quick) },
 		"extras-wormhole":   func() (*Table, error) { return ExtrasWormhole(quick) },
+		"extras-sfc":        func() (*Table, error) { return ExtrasSFC(quick) },
 		"scale-multilevel":  func() (*Table, error) { return ExtrasScaleMultilevel(quick) },
 	}
 }
@@ -32,7 +33,7 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 func ExtrasIDs() []string {
 	return []string{"extras-strategies", "extras-hybrid", "extras-routing",
 		"extras-scaling", "extras-modern", "extras-buffered", "extras-wormhole",
-		"scale-multilevel"}
+		"extras-sfc", "scale-multilevel"}
 }
 
 // ExtrasStrategies pits TopoLB against the related-work algorithms of §2

@@ -32,6 +32,47 @@ func TestRCBValidation(t *testing.T) {
 	}
 }
 
+// TestRCBMalformedCoordsNoPanic is the regression test for the error-path
+// ordering in Partition: every malformed coordinate shape must surface as
+// an error, never a dereference panic, regardless of which guard fires
+// first.
+func TestRCBMalformedCoordsNoPanic(t *testing.T) {
+	g := taskgraph.Mesh2D(4, 4, 10)
+	cases := []struct {
+		name   string
+		coords [][]float64
+	}{
+		{"nil coords", nil},
+		{"zero-length coords", [][]float64{}},
+		{"short coords", gridCoords(2, 2)},
+		{"empty first row", append([][]float64{{}}, gridCoords(4, 4)[1:]...)},
+		{"empty later row", append(gridCoords(4, 4)[:15], []float64{})},
+		{"ragged later row", append(gridCoords(4, 4)[:15], []float64{1, 2, 3})},
+		{"nine dimensions", wideCoords(16, 9)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Partition panicked: %v", tc.name, r)
+				}
+			}()
+			if _, err := (RCB{Coords: tc.coords}).Partition(g, 4); err == nil {
+				t.Errorf("%s: want error, got nil", tc.name)
+			}
+		}()
+	}
+}
+
+func wideCoords(n, dims int) [][]float64 {
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = make([]float64, dims)
+		coords[i][0] = float64(i)
+	}
+	return coords
+}
+
 func TestRCBBalancedAndValid(t *testing.T) {
 	g := taskgraph.Mesh2D(8, 8, 10)
 	for _, k := range []int{2, 3, 4, 7, 16} {

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The "auto" strategy portfolio. An auto job runs a fixed, ordered set of
+// candidate strategies, keeps the mapping with the lowest hop-bytes, and
+// reports what ran, what was skipped, and why. Admission is governed by a
+// deterministic cost model, NOT by measured wall-clock: which candidates
+// run is a pure function of the normalized job, so the response body stays
+// byte-identical across GOMAXPROCS, load, and machines, and the result
+// cache / singleflight layers remain sound. Measured timings exist too,
+// but they only feed the /stats counters (never the response body).
+//
+// The first autoFloor candidates are the near-linear geometric tier; they
+// always run, even when the budget is smaller than their estimate, so an
+// auto job always produces a mapping. Every later candidate runs only if
+// the portfolio's cumulative estimate stays within the job's budget; a
+// candidate that does not fit is skipped and the next (possibly cheaper)
+// one is still considered.
+
+// autoCandidate is one portfolio member: its wire name and its strategy
+// constructor (coords are the pattern geometry, nil without one).
+type autoCandidate struct {
+	name  string
+	strat func(coords [][]float64) core.Strategy
+}
+
+// autoCandidates is the portfolio in admission order: the always-run
+// geometric tier first, then the quotient mappers, then the hierarchical
+// multilevel mapper. Index order is the wire order of auto.strategies and
+// of the /stats auto counters; append only.
+var autoCandidates = []autoCandidate{
+	{"sfc", func(c [][]float64) core.Strategy { return core.SFC{Coords: c} }},
+	{"rcb-sfc", func(c [][]float64) core.Strategy { return core.RCBSFC{Coords: c} }},
+	{"topocentlb", func([][]float64) core.Strategy { return core.TopoCentLB{} }},
+	{"topolb", func([][]float64) core.Strategy { return core.TopoLB{} }},
+	{"multilevel", func([][]float64) core.Strategy { return core.MultilevelMap{} }},
+}
+
+// numAutoCandidates sizes the fixed-order /stats counter arrays.
+const numAutoCandidates = 5
+
+// autoFloor is how many leading candidates run regardless of budget.
+const autoFloor = 2
+
+// AutoReport is the auto portfolio section of a JobResult.
+type AutoReport struct {
+	// Winner is the candidate whose mapping the result carries.
+	Winner string `json:"winner"`
+	// BudgetMS is the resolved portfolio budget (explicit or derived).
+	BudgetMS int `json:"budget_ms"`
+	// Strategies lists every candidate in portfolio order.
+	Strategies []AutoStrategy `json:"strategies"`
+}
+
+// AutoStrategy is one candidate's outcome inside an AutoReport.
+//
+//lint:ignore jsoncontract float fields are cost-model estimates and hop-bytes, deterministic for identical inputs; wire bytes pinned by cache equality and the auto determinism tests
+type AutoStrategy struct {
+	Strategy string `json:"strategy"`
+	// EstMS is the deterministic cost-model estimate that governed
+	// admission. Measured wall-clock is deliberately absent from the
+	// response (it would break byte-determinism); see /stats.
+	EstMS float64 `json:"est_ms"`
+	// HopBytes is the candidate's mapping quality (present when it ran).
+	HopBytes float64 `json:"hop_bytes,omitempty"`
+	// Skipped marks a candidate the budget excluded.
+	Skipped bool `json:"skipped,omitempty"`
+	// Error carries a candidate's failure; the portfolio continues.
+	Error string `json:"error,omitempty"`
+}
+
+// autoEstMS is the cost model: a deterministic estimate in milliseconds
+// of candidate i on a job with n tasks, m edges, and p processors.
+// Constants are calibrated against cmd/benchjson -suite geometric on the
+// reference container and err on the high side, so budget overruns stay
+// bounded by model error rather than unbounded.
+func autoEstMS(i, n, m, p int) float64 {
+	nf, mf, pf := float64(n), float64(m), float64(p)
+	logn := math.Log2(nf + 1)
+	logp := math.Log2(pf + 1)
+	// partMS is the multilevel partition phase every quotient-mapped
+	// candidate pays when tasks outnumber processors.
+	partMS := 0.0
+	if n > p {
+		partMS = (nf + mf) * logp * 1e-4
+	}
+	switch autoCandidates[i].name {
+	case "sfc":
+		return nf*logn*3e-5 + mf*1.5e-5
+	case "rcb-sfc":
+		return nf*logn*logp*3e-5 + mf*1.5e-5
+	case "topocentlb":
+		return partMS + pf*pf*2e-4
+	case "topolb":
+		return partMS + pf*pf*logp*2.5e-4
+	case "multilevel":
+		return (nf+mf)*logn*6e-5 + pf*pf*2e-4
+	}
+	return 0
+}
+
+// defaultAutoBudgetMS derives the budget for jobs that do not set
+// auto_budget_ms: twice the full portfolio's estimate, clamped to
+// [50ms, 10s]. Small and medium jobs therefore run every candidate by
+// default; very large jobs shed the expensive tail unless the client
+// raises the budget explicitly.
+func defaultAutoBudgetMS(n, m, p int) int {
+	est := 0.0
+	for i := range autoCandidates {
+		est += autoEstMS(i, n, m, p)
+	}
+	b := int(2*est) + 1
+	if b < 50 {
+		b = 50
+	}
+	if b > 10000 {
+		b = 10000
+	}
+	return b
+}
+
+// computeAuto runs the portfolio and returns the winning mapping, filling
+// res.Strategy, res.Auto, and (for partitioned jobs) the winner's
+// partition quality. Candidate errors are recorded and survived; only a
+// portfolio with zero successful candidates fails.
+func (j *job) computeAuto(res *JobResult) ([]int, error) {
+	n, m, p := j.graph.NumVertices(), j.graph.NumEdges(), j.topo.Nodes()
+	budget := float64(j.spec.AutoBudgetMS)
+	report := &AutoReport{Winner: "", BudgetMS: j.spec.AutoBudgetMS,
+		Strategies: make([]AutoStrategy, len(autoCandidates))}
+
+	type outcome struct {
+		mapping  []int
+		edgeCut  float64
+		imbal    float64
+		hopBytes float64
+	}
+	var best *outcome
+	bestIdx := -1
+	spent := 0.0
+	var portfolioNs int64
+	for i, c := range autoCandidates {
+		est := autoEstMS(i, n, m, p)
+		entry := AutoStrategy{Strategy: c.name, EstMS: est}
+		if i >= autoFloor && spent+est > budget {
+			entry.Skipped = true
+			report.Strategies[i] = entry
+			if j.stats != nil {
+				j.stats.autoSkips[i].Add(1)
+			}
+			continue
+		}
+		spent += est
+		//lint:ignore seededrand wall-clock here feeds only the /stats counters; admission and the response body depend solely on the deterministic cost model
+		start := time.Now()
+		var sub JobResult
+		mapping, err := j.runStrategy(c.strat(j.coords), &sub)
+		//lint:ignore seededrand wall-clock here feeds only the /stats counters; admission and the response body depend solely on the deterministic cost model
+		elapsed := time.Since(start)
+		portfolioNs += int64(elapsed)
+		if j.stats != nil {
+			j.stats.autoRuns[i].Add(1)
+			j.stats.autoNs[i].Add(int64(elapsed))
+		}
+		if err != nil {
+			entry.Error = err.Error()
+			report.Strategies[i] = entry
+			continue
+		}
+		o := &outcome{mapping: mapping, edgeCut: sub.EdgeCut, imbal: sub.Imbalance,
+			hopBytes: core.HopBytes(j.graph, j.topo, mapping)}
+		entry.HopBytes = o.hopBytes
+		report.Strategies[i] = entry
+		// Strictly-lower hop-bytes wins; ties keep the earlier candidate.
+		if best == nil || o.hopBytes < best.hopBytes {
+			best, bestIdx = o, i
+		}
+	}
+	if best == nil {
+		return nil, badJob(422, "job: auto: every portfolio candidate failed")
+	}
+	report.Winner = autoCandidates[bestIdx].name
+	res.Strategy = "auto"
+	res.Auto = report
+	res.EdgeCut = best.edgeCut
+	res.Imbalance = best.imbal
+	if j.stats != nil {
+		j.stats.autoComputed.Add(1)
+		j.stats.autoWins[bestIdx].Add(1)
+		// CAS-max: record the slowest portfolio this server has run, so
+		// operators can compare it against configured budgets.
+		for {
+			cur := j.stats.autoMaxPortfolioNs.Load()
+			if portfolioNs <= cur || j.stats.autoMaxPortfolioNs.CompareAndSwap(cur, portfolioNs) {
+				break
+			}
+		}
+	}
+	return best.mapping, nil
+}

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// autoJob is the standard auto workload: a partitioned stencil with
+// geometry, so every portfolio candidate is exercised (geometric tier
+// with real coordinates, quotient mappers, multilevel).
+func autoJob() Job {
+	return Job{Graph: GraphSpec{Pattern: "stencil9:16,16", MsgBytes: 1e5, Seed: 1},
+		Topology: "torus:4,4", Strategy: "auto", Seed: 1}
+}
+
+func TestAutoValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Job
+	}{
+		{"refine with auto", Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"},
+			Topology: "torus:4,4", Strategy: "auto", Refine: true}},
+		{"budget without auto", Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"},
+			Topology: "torus:4,4", Strategy: "topolb", AutoBudgetMS: 100}},
+		{"negative budget", Job{Graph: GraphSpec{Pattern: "mesh2d:4,4"},
+			Topology: "torus:4,4", Strategy: "auto", AutoBudgetMS: -1}},
+	}
+	for _, tc := range cases {
+		_, err := normalize(tc.spec, 0)
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if status := errStatus(err); status != 400 {
+			t.Errorf("%s: status %d, want 400", tc.name, status)
+		}
+	}
+}
+
+// TestAutoWinnerIsBestHopBytes pins the selection rule: the result carries
+// the strictly-lowest hop-bytes mapping among the candidates that ran,
+// the report lists every candidate in portfolio order, and the resolved
+// default budget is recorded.
+func TestAutoWinnerIsBestHopBytes(t *testing.T) {
+	j, err := normalize(autoJob(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "auto" || res.Auto == nil {
+		t.Fatalf("strategy %q, auto report %v", res.Strategy, res.Auto)
+	}
+	rep := res.Auto
+	if rep.BudgetMS <= 0 {
+		t.Errorf("budget_ms = %d, want resolved default > 0", rep.BudgetMS)
+	}
+	if len(rep.Strategies) != len(autoCandidates) {
+		t.Fatalf("%d strategy entries, want %d", len(rep.Strategies), len(autoCandidates))
+	}
+	best := ""
+	bestHB := 0.0
+	for i, e := range rep.Strategies {
+		if e.Strategy != autoCandidates[i].name {
+			t.Errorf("entry %d is %q, want %q (portfolio order)", i, e.Strategy, autoCandidates[i].name)
+		}
+		if e.Skipped || e.Error != "" {
+			t.Errorf("entry %s: skipped=%v err=%q; the default budget must admit the full portfolio on this job", e.Strategy, e.Skipped, e.Error)
+			continue
+		}
+		if best == "" || e.HopBytes < bestHB {
+			best, bestHB = e.Strategy, e.HopBytes
+		}
+	}
+	if rep.Winner != best {
+		t.Errorf("winner %q, want %q (min hop-bytes)", rep.Winner, best)
+	}
+	if res.HopBytes != bestHB {
+		t.Errorf("result hop-bytes %v != winner's %v", res.HopBytes, bestHB)
+	}
+}
+
+// TestAutoWinnerMatchesDirectJob pins auto to the library: the winning
+// mapping must be byte-identical to what a direct job with the winning
+// strategy produces.
+func TestAutoWinnerMatchesDirectJob(t *testing.T) {
+	j, err := normalize(autoJob(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := autoJob()
+	direct.Strategy = res.Auto.Winner
+	dj, err := normalize(direct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dj.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mapping) != len(dres.Mapping) {
+		t.Fatalf("mapping lengths differ: %d vs %d", len(res.Mapping), len(dres.Mapping))
+	}
+	for v := range res.Mapping {
+		if res.Mapping[v] != dres.Mapping[v] {
+			t.Fatalf("auto mapping diverges from direct %s at task %d", res.Auto.Winner, v)
+		}
+	}
+	if res.HopBytes != dres.HopBytes || res.EdgeCut != dres.EdgeCut || res.Imbalance != dres.Imbalance {
+		t.Error("auto result metrics diverge from the direct job")
+	}
+}
+
+// TestAutoBudgetGating pins admission: with a 1ms budget only the
+// geometric floor runs (it always runs); every later candidate is
+// skipped, and /stats counts the skips.
+func TestAutoBudgetGating(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Large enough that every non-floor candidate's estimate exceeds 1ms.
+	spec := Job{Graph: GraphSpec{Pattern: "stencil9:64,64", MsgBytes: 1e5, Seed: 1},
+		Topology: "torus:4,4", Strategy: "auto", Seed: 1, AutoBudgetMS: 1}
+	status, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", spec)
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Auto.BudgetMS != 1 {
+		t.Errorf("budget_ms = %d, want the explicit 1", res.Auto.BudgetMS)
+	}
+	for i, e := range res.Auto.Strategies {
+		if i < autoFloor && e.Skipped {
+			t.Errorf("floor candidate %s skipped; the floor must always run", e.Strategy)
+		}
+		if i >= autoFloor && !e.Skipped {
+			t.Errorf("candidate %s ran under a 1ms budget (est %v ms)", e.Strategy, e.EstMS)
+		}
+	}
+	if w := res.Auto.Winner; w != "sfc" && w != "rcb-sfc" {
+		t.Errorf("winner %q, want a floor candidate", w)
+	}
+	st := srv.Snapshot()
+	skips := int64(0)
+	for _, e := range st.Auto.Strategies {
+		skips += e.BudgetSkips
+	}
+	if want := int64(len(autoCandidates) - autoFloor); skips != want {
+		t.Errorf("budget skips = %d, want %d", skips, want)
+	}
+}
+
+// TestAutoDeterministicAndCached pins the service contract for auto jobs:
+// identical responses at every GOMAXPROCS and client concurrency, exactly
+// one computation per server thanks to cache + singleflight, and live
+// /stats portfolio counters.
+func TestAutoDeterministicAndCached(t *testing.T) {
+	ref, err := normalize(autoJob(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := encodeResult(refRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		t.Run(fmt.Sprintf("gomaxprocs=%d", gmp), func(t *testing.T) {
+			srv := NewServer(Config{})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			const conc = 8
+			var wg sync.WaitGroup
+			errs := make(chan string, conc*2)
+			for c := 0; c < conc; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < 2; rep++ {
+						status, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", autoJob())
+						if status != 200 {
+							errs <- fmt.Sprintf("status %d: %s", status, body)
+							return
+						}
+						if !bytes.Equal(body, want) {
+							errs <- fmt.Sprintf("auto body diverges:\n got %s\nwant %s", body, want)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+
+			st := srv.Snapshot()
+			if st.Auto.JobsComputed != 1 {
+				t.Errorf("auto jobs computed = %d, want 1 (cache + coalescing)", st.Auto.JobsComputed)
+			}
+			if st.Auto.MaxPortfolioNs <= 0 {
+				t.Error("max_portfolio_ns not recorded")
+			}
+			wins := int64(0)
+			for _, e := range st.Auto.Strategies {
+				if e.Runs != 1 {
+					t.Errorf("%s runs = %d, want 1", e.Strategy, e.Runs)
+				}
+				if e.Runs > 0 && e.TotalNs <= 0 {
+					t.Errorf("%s ran but total_ns = %d", e.Strategy, e.TotalNs)
+				}
+				wins += e.Wins
+			}
+			if wins != 1 {
+				t.Errorf("total wins = %d, want 1", wins)
+			}
+		})
+	}
+}
+
+// TestAutoCacheHitOnRepeat pins the repeat path explicitly: the second
+// identical auto request is served from the result cache byte-for-byte
+// without recomputing the portfolio.
+func TestAutoCacheHitOnRepeat(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, first := postJSON(t, ts.Client(), ts.URL+"/v1/map", autoJob())
+	before := srv.Snapshot()
+	_, second := postJSON(t, ts.Client(), ts.URL+"/v1/map", autoJob())
+	after := srv.Snapshot()
+	if !bytes.Equal(first, second) {
+		t.Error("repeated auto job returned different bytes")
+	}
+	if after.ResultCache.Hits != before.ResultCache.Hits+1 {
+		t.Errorf("cache hits went %d -> %d, want +1", before.ResultCache.Hits, after.ResultCache.Hits)
+	}
+	if after.Auto.JobsComputed != before.Auto.JobsComputed {
+		t.Error("cache hit recomputed the portfolio")
+	}
+}
+
+// TestAutoDefaultBudgetSharesCacheKey pins budget resolution order: an
+// explicit budget equal to the derived default hashes to the same content
+// key, while a different explicit budget does not.
+func TestAutoDefaultBudgetSharesCacheKey(t *testing.T) {
+	j, err := normalize(autoJob(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := autoJob()
+	explicit.AutoBudgetMS = j.spec.AutoBudgetMS
+	je, err := normalize(explicit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.key != je.key {
+		t.Error("explicit budget equal to the default must share the cache key")
+	}
+	other := autoJob()
+	other.AutoBudgetMS = j.spec.AutoBudgetMS + 1
+	jo, err := normalize(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.key == jo.key {
+		t.Error("different budgets must not share a cache key")
+	}
+}

@@ -45,6 +45,9 @@ func directBody(t *testing.T, spec Job) []byte {
 	if spec.Refine {
 		strat = core.RefineTopoLB{Base: strat}
 	}
+	// The service feeds pattern geometry to the geometric strategies;
+	// mirror it here so sfc/rcb-sfc jobs pin the coordinate path.
+	strat = cliutil.WithCoords(strat, cliutil.PatternCoords(spec.Graph.Pattern, spec.Graph.Seed))
 	g, err := cliutil.ParsePattern(spec.Graph.Pattern, spec.Graph.MsgBytes, spec.Graph.Seed)
 	if err != nil {
 		t.Fatal(err)
@@ -152,6 +155,15 @@ func testJobs() []Job {
 		// follows the spec seed, so this must not collide with Seed 1.
 		{Graph: GraphSpec{Pattern: "mesh2d:8,8", MsgBytes: 1e5, Seed: 1},
 			Topology: "torus:4,4", Strategy: "topolb", Seed: 3},
+		// Geometric strategies, bijective and partitioned: the service must
+		// feed them the pattern's coordinates exactly as the library does.
+		{Graph: GraphSpec{Pattern: "stencil9:8,8", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:8,8", Strategy: "sfc", Seed: 1},
+		{Graph: GraphSpec{Pattern: "stencil9:16,16", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "rcb-sfc", Seed: 1, Metrics: true},
+		// A geometry-free pattern through sfc exercises the BFS fallback.
+		{Graph: GraphSpec{Pattern: "bintree:64", MsgBytes: 1e5, Seed: 1},
+			Topology: "torus:4,4", Strategy: "sfc", Seed: 1},
 	}
 }
 

@@ -30,11 +30,16 @@ type Job struct {
 	Graph GraphSpec `json:"graph"`
 	// Topology is a spec like "torus:16,16" (see internal/cliutil).
 	Topology string `json:"topology"`
-	// Strategy is a name like "topolb" (see internal/cliutil). Default
-	// "topolb".
+	// Strategy is a name like "topolb" (see internal/cliutil), or "auto"
+	// to let the service run its budgeted strategy portfolio and return
+	// the best mapping by hop-bytes. Default "topolb".
 	Strategy string `json:"strategy,omitempty"`
 	// Seed drives randomized strategies. Default 1.
 	Seed int64 `json:"seed,omitempty"`
+	// AutoBudgetMS bounds the "auto" portfolio's compute budget in
+	// milliseconds via the deterministic cost model (see auto.go). Only
+	// valid with strategy "auto"; 0 derives a default from the job size.
+	AutoBudgetMS int `json:"auto_budget_ms,omitempty"`
 	// Refine applies RefineTopoLB on top of the strategy's mapping.
 	Refine bool `json:"refine,omitempty"`
 	// Metrics includes the full quality report (dilation, cardinality,
@@ -112,6 +117,7 @@ type JobResult struct {
 	// omitted for one-task-per-processor jobs.
 	EdgeCut   float64         `json:"edge_cut,omitempty"`
 	Imbalance float64         `json:"imbalance,omitempty"`
+	Auto      *AutoReport     `json:"auto,omitempty"`
 	Report    *metrics.Report `json:"report,omitempty"`
 	Sim       *SimResult      `json:"sim,omitempty"`
 }
@@ -130,11 +136,20 @@ type job struct {
 	spec  Job
 	graph *taskgraph.Graph
 	topo  topology.Topology
-	strat core.Strategy
+	strat core.Strategy // nil for auto jobs (the portfolio picks per run)
 	key   string
 	// partitioned marks a job with more tasks than processors, served by
 	// the two-phase partition→map pipeline.
 	partitioned bool
+	// auto marks a portfolio job: compute runs every admitted candidate
+	// and returns the best mapping by hop-bytes.
+	auto bool
+	// coords are the pattern's task positions for the geometric strategies
+	// (nil for inline graphs and geometry-free patterns).
+	coords [][]float64
+	// stats is the owning server's counter block, set by the worker before
+	// compute; nil when compute is driven directly (tests).
+	stats *serverStats
 }
 
 // jobError is a client-side job defect carrying the HTTP status the
@@ -165,6 +180,16 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	}
 	if spec.Seed == 0 {
 		spec.Seed = 1
+	}
+	auto := spec.Strategy == "auto"
+	if auto && spec.Refine {
+		return nil, badJob(400, "job: strategy auto picks its own strategies; refine is not supported")
+	}
+	if spec.AutoBudgetMS < 0 {
+		return nil, badJob(400, "job: auto_budget_ms must be non-negative")
+	}
+	if spec.AutoBudgetMS != 0 && !auto {
+		return nil, badJob(400, "job: auto_budget_ms requires strategy \"auto\"")
 	}
 	if (spec.Graph.Pattern == "") == (len(spec.Graph.Inline) == 0) {
 		return nil, badJob(400, "job: exactly one of graph.pattern or graph.inline is required")
@@ -225,12 +250,16 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	if err != nil {
 		return nil, badJob(400, "job: %v", err)
 	}
-	j.strat, err = cliutil.ParseStrategy(spec.Strategy, spec.Seed)
-	if err != nil {
-		return nil, badJob(400, "job: %v", err)
-	}
-	if spec.Refine {
-		j.strat = core.RefineTopoLB{Base: j.strat}
+	if auto {
+		j.auto = true
+	} else {
+		j.strat, err = cliutil.ParseStrategy(spec.Strategy, spec.Seed)
+		if err != nil {
+			return nil, badJob(400, "job: %v", err)
+		}
+		if spec.Refine {
+			j.strat = core.RefineTopoLB{Base: j.strat}
+		}
 	}
 
 	var graphBytes []byte
@@ -265,6 +294,20 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 		// partition→map pipeline.
 		j.partitioned = true
 	}
+	// Pattern geometry feeds the geometric strategies; inline graphs and
+	// geometry-free patterns leave coords nil (graph-BFS fallback).
+	if spec.Graph.Pattern != "" {
+		j.coords = cliutil.PatternCoords(spec.Graph.Pattern, spec.Graph.Seed)
+	}
+	if j.strat != nil {
+		j.strat = cliutil.WithCoords(j.strat, j.coords)
+	}
+	if j.auto && spec.AutoBudgetMS == 0 {
+		// Resolve the default before hashing, so an explicit budget equal
+		// to the derived default shares the cache entry.
+		spec.AutoBudgetMS = defaultAutoBudgetMS(j.graph.NumVertices(), j.graph.NumEdges(), j.topo.Nodes())
+	}
+	j.spec = spec
 	j.key = contentKey(&spec, graphBytes)
 	return j, nil
 }
@@ -274,8 +317,8 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 // use for the result cache, in-flight coalescing, and shard routing.
 func contentKey(spec *Job, inlineGraph []byte) string {
 	h := sha256.New()
-	hashf(h, "v1\x00%s\x00%s\x00%d\x00%t\x00%t\x00",
-		spec.Topology, spec.Strategy, spec.Seed, spec.Refine, spec.Metrics)
+	hashf(h, "v2\x00%s\x00%s\x00%d\x00%d\x00%t\x00%t\x00",
+		spec.Topology, spec.Strategy, spec.Seed, spec.AutoBudgetMS, spec.Refine, spec.Metrics)
 	if spec.Graph.Pattern != "" {
 		hashf(h, "pattern\x00%s\x00%g\x00%d\x00", spec.Graph.Pattern, spec.Graph.MsgBytes, spec.Graph.Seed)
 	} else {
@@ -302,30 +345,23 @@ func hashf(h io.Writer, format string, args ...any) {
 // library calls to pin the service to the library.
 func (j *job) compute() (*JobResult, error) {
 	res := &JobResult{
-		Strategy: j.strat.Name(),
 		Topology: j.topo.Name(),
 		Graph:    j.graph.Name(),
 		Tasks:    j.graph.NumVertices(),
 	}
 	var m []int
-	if j.partitioned {
-		// Two-phase pipeline: partition tasks into one group per
-		// processor, then map the quotient graph with the job's strategy.
-		// The partitioner's RNG is seeded from the job spec, so two jobs
-		// whose content keys differ only in Seed genuinely partition
-		// differently instead of silently sharing the zero seed.
-		pr, err := topomap.MapTasks(j.graph, j.topo, topomap.Multilevel{Seed: j.spec.Seed}, j.strat)
-		if err != nil {
-			return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
-		}
-		m = pr.Placement
-		res.EdgeCut = pr.EdgeCut
-		res.Imbalance = pr.Imbalance
-	} else {
+	if j.auto {
 		var err error
-		m, err = j.strat.Map(j.graph, j.topo)
+		m, err = j.computeAuto(res)
 		if err != nil {
-			return nil, badJob(422, "job: %s: %v", j.strat.Name(), err)
+			return nil, err
+		}
+	} else {
+		res.Strategy = j.strat.Name()
+		var err error
+		m, err = j.runStrategy(j.strat, res)
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.Mapping = m
@@ -370,6 +406,32 @@ func (j *job) compute() (*JobResult, error) {
 		res.Sim = &SimResult{CompletionTime: rr.CompletionTime, Stats: rr.Net}
 	}
 	return res, nil
+}
+
+// runStrategy maps the job's graph with one strategy, recording the
+// pipeline's partition quality into res when res is non-nil.
+func (j *job) runStrategy(strat core.Strategy, res *JobResult) ([]int, error) {
+	if j.partitioned {
+		// Two-phase pipeline: partition tasks into one group per
+		// processor, then map the quotient graph with the job's strategy.
+		// The partitioner's RNG is seeded from the job spec, so two jobs
+		// whose content keys differ only in Seed genuinely partition
+		// differently instead of silently sharing the zero seed.
+		pr, err := topomap.MapTasks(j.graph, j.topo, topomap.Multilevel{Seed: j.spec.Seed}, strat)
+		if err != nil {
+			return nil, badJob(422, "job: %s: %v", strat.Name(), err)
+		}
+		if res != nil {
+			res.EdgeCut = pr.EdgeCut
+			res.Imbalance = pr.Imbalance
+		}
+		return pr.Placement, nil
+	}
+	m, err := strat.Map(j.graph, j.topo)
+	if err != nil {
+		return nil, badJob(422, "job: %s: %v", strat.Name(), err)
+	}
+	return m, nil
 }
 
 // encodeBuffers pools the scratch buffers result encoding marshals into,

@@ -169,6 +169,16 @@ type serverStats struct {
 	writeFailures  atomic.Int64
 	jobsRunning    atomic.Int64 // gauge: claimed, not yet finished
 
+	// Auto portfolio counters (see auto.go), indexed by candidate
+	// position in autoCandidates. Fixed-size arrays keep the hot path
+	// allocation-free and the /stats order deterministic.
+	autoComputed       atomic.Int64
+	autoMaxPortfolioNs atomic.Int64
+	autoRuns           [numAutoCandidates]atomic.Int64
+	autoWins           [numAutoCandidates]atomic.Int64
+	autoSkips          [numAutoCandidates]atomic.Int64
+	autoNs             [numAutoCandidates]atomic.Int64
+
 	// Session counters (see session.go).
 	sessionsCreated  atomic.Int64
 	sessionsClosed   atomic.Int64
@@ -243,6 +253,7 @@ func (s *Server) worker(queue <-chan *flight) {
 
 // run computes one claimed flight and publishes its result.
 func (s *Server) run(f *flight) {
+	f.job.stats = &s.stats
 	res, err := f.job.compute()
 	if err != nil {
 		s.table.finish(f, nil, errStatus(err), err)
@@ -401,6 +412,16 @@ type Stats struct {
 		Bytes     int64 `json:"bytes"`
 	} `json:"result_cache"`
 
+	// Auto reports the portfolio counters: how many auto jobs computed,
+	// the slowest portfolio wall-clock seen, and per-candidate totals in
+	// fixed portfolio order. Cache hits and coalesced joins do not
+	// recompute, so they do not move these counters.
+	Auto struct {
+		JobsComputed   int64            `json:"jobs_computed"`
+		MaxPortfolioNs int64            `json:"max_portfolio_ns"`
+		Strategies     []AutoStratStats `json:"strategies"`
+	} `json:"auto"`
+
 	Sessions struct {
 		Active           int   `json:"active"`
 		Created          int64 `json:"created"`
@@ -419,6 +440,15 @@ type Stats struct {
 	Shards     int `json:"shards"`
 
 	System metrics.SystemCounters `json:"system"`
+}
+
+// AutoStratStats is one portfolio candidate's /stats entry.
+type AutoStratStats struct {
+	Strategy    string `json:"strategy"`
+	Runs        int64  `json:"runs"`
+	Wins        int64  `json:"wins"`
+	BudgetSkips int64  `json:"budget_skips"`
+	TotalNs     int64  `json:"total_ns"`
 }
 
 // Snapshot collects every counter the service exposes.
@@ -442,6 +472,18 @@ func (s *Server) Snapshot() Stats {
 	st.ResultCache.Evictions = evictions
 	st.ResultCache.Entries = entries
 	st.ResultCache.Bytes = bytes
+	st.Auto.JobsComputed = s.stats.autoComputed.Load()
+	st.Auto.MaxPortfolioNs = s.stats.autoMaxPortfolioNs.Load()
+	st.Auto.Strategies = make([]AutoStratStats, len(autoCandidates))
+	for i, c := range autoCandidates {
+		st.Auto.Strategies[i] = AutoStratStats{
+			Strategy:    c.name,
+			Runs:        s.stats.autoRuns[i].Load(),
+			Wins:        s.stats.autoWins[i].Load(),
+			BudgetSkips: s.stats.autoSkips[i].Load(),
+			TotalNs:     s.stats.autoNs[i].Load(),
+		}
+	}
 	st.Sessions.Active = s.sessions.active()
 	st.Sessions.Created = s.stats.sessionsCreated.Load()
 	st.Sessions.Closed = s.stats.sessionsClosed.Load()

@@ -65,6 +65,33 @@ func RandomGeometric(n int, radius float64, msgBytes float64, seed int64) *Graph
 	return b.Build(fmt.Sprintf("rgg(n=%d,r=%g,seed=%d)", n, radius, seed))
 }
 
+// rggPoints draws the n unit-square points RandomGeometricDeg connects.
+// The draw order (x then y, per point) is the generator's wire format:
+// RandomGeometricCoords must return exactly these positions.
+func rggPoints(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	return xs, ys
+}
+
+// RandomGeometricCoords returns the positions of the tasks of
+// RandomGeometricDeg(n, ·, ·, seed), one [x, y] row per task — the
+// geometry the coordinate-consuming strategies (RCB, SFC) pair with the
+// rgg pattern.
+func RandomGeometricCoords(n int, seed int64) [][]float64 {
+	xs, ys := rggPoints(n, seed)
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = []float64{xs[i], ys[i]}
+	}
+	return coords
+}
+
 // RandomGeometricDeg is RandomGeometric with the radius derived from a
 // target average degree (expected degree of a point is π·r²·n) and a
 // cell-bucketed neighbor search, so million-vertex instances build in
@@ -76,13 +103,7 @@ func RandomGeometricDeg(n, avgDeg int, msgBytes float64, seed int64) *Graph {
 	if avgDeg < 1 {
 		panic("taskgraph: RandomGeometricDeg needs average degree >= 1")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	xs := make([]float64, n)
-	ys := make([]float64, n)
-	for i := range xs {
-		xs[i] = rng.Float64()
-		ys[i] = rng.Float64()
-	}
+	xs, ys := rggPoints(n, seed)
 	radius := math.Sqrt(float64(avgDeg+1) / (math.Pi * float64(n)))
 	if radius > 1 {
 		radius = 1

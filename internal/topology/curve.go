@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/sfc"
+)
+
+// CurveOrder returns a permutation of processor ranks that walks the
+// machine along a space-filling curve: ranks adjacent in the returned
+// order are near each other in the topology, so assigning consecutive
+// runs of curve-ordered tasks to consecutive entries yields locality on
+// both sides (the Deveci et al. geometric mapping construction).
+//
+// Coordinated topologies with 2 or 3 dimensions are walked in Hilbert
+// order over their coordinates (non-power-of-two extents are handled by
+// sorting the existing ranks by curve index, which preserves the curve's
+// relative order on any sub-box). One-dimensional machines are walked
+// along their axis; higher-dimensional grids fall back to a generalized
+// Morton walk. Everything else (hypercubes, fat-trees) keeps rank order,
+// which already clusters subcubes and subtrees.
+//
+// Deterministic: the result depends only on the topology's coordinates.
+func CurveOrder(t Topology) []int32 {
+	p := t.Nodes()
+	order := make([]int32, p)
+	for q := range order {
+		order[q] = int32(q)
+	}
+	co, ok := t.(Coordinated)
+	if !ok {
+		return order
+	}
+	dims := co.Dims()
+	maxExt := 0
+	for _, d := range dims {
+		if d > maxExt {
+			maxExt = d
+		}
+	}
+	k := bits.Len(uint(maxExt - 1)) // lattice order: side 2^k covers every extent
+	keys := make([]uint64, p)
+	buf := make([]int, len(dims))
+	for q := 0; q < p; q++ {
+		co.Coord(q, buf)
+		switch len(dims) {
+		case 1:
+			keys[q] = uint64(buf[0])
+		case 2:
+			keys[q] = sfc.HilbertEncode2(k, uint32(buf[0]), uint32(buf[1]))
+		case 3:
+			keys[q] = sfc.HilbertEncode3(k, uint32(buf[0]), uint32(buf[1]), uint32(buf[2]))
+		default:
+			// d-dimensional Morton: interleave one bit per axis per level.
+			var key uint64
+			for lvl := k - 1; lvl >= 0; lvl-- {
+				for i := len(buf) - 1; i >= 0; i-- {
+					key = key<<1 | uint64(buf[i]>>uint(lvl)&1)
+				}
+			}
+			keys[q] = key
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	})
+	return order
+}

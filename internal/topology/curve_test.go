@@ -1,0 +1,76 @@
+package topology
+
+import "testing"
+
+// TestCurveOrderPermutation checks CurveOrder returns a permutation on
+// every topology kind.
+func TestCurveOrderPermutation(t *testing.T) {
+	topos := []Topology{
+		MustTorus(8, 8),
+		MustTorus(4, 6), // non-power-of-two extent
+		MustTorus(4, 4, 4),
+		MustMesh(16), // 1D
+		MustMesh(3, 5, 7),
+		mustHypercube(t, 4),
+		mustFatTree(t, 2, 3),
+	}
+	for _, to := range topos {
+		order := CurveOrder(to)
+		if len(order) != to.Nodes() {
+			t.Errorf("%s: order has %d entries for %d nodes", to.Name(), len(order), to.Nodes())
+			continue
+		}
+		seen := make([]bool, to.Nodes())
+		for _, q := range order {
+			if q < 0 || int(q) >= to.Nodes() || seen[q] {
+				t.Errorf("%s: order is not a permutation (rank %d)", to.Name(), q)
+				break
+			}
+			seen[q] = true
+		}
+	}
+}
+
+// TestCurveOrderLocality checks the walk is a genuine curve on
+// power-of-two grids: consecutive ranks are machine neighbors
+// (distance 1), the Hilbert adjacency property lifted to the machine.
+func TestCurveOrderLocality(t *testing.T) {
+	for _, to := range []Topology{MustMesh(8, 8), MustMesh(4, 4, 4)} {
+		order := CurveOrder(to)
+		for i := 1; i < len(order); i++ {
+			if d := to.Distance(int(order[i-1]), int(order[i])); d != 1 {
+				t.Fatalf("%s: curve steps %d hops between order[%d]=%d and order[%d]=%d",
+					to.Name(), d, i-1, order[i-1], i, order[i])
+			}
+		}
+	}
+}
+
+// TestCurveOrderNonCoordinated pins the rank-order fallback.
+func TestCurveOrderNonCoordinated(t *testing.T) {
+	ft := mustFatTree(t, 2, 4)
+	order := CurveOrder(ft)
+	for q, got := range order {
+		if got != int32(q) {
+			t.Fatalf("fat-tree order[%d] = %d, want rank order", q, got)
+		}
+	}
+}
+
+func mustHypercube(t *testing.T, d int) Topology {
+	t.Helper()
+	h, err := NewHypercube(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mustFatTree(t *testing.T, arity, levels int) Topology {
+	t.Helper()
+	ft, err := NewFatTree(arity, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}

@@ -39,3 +39,14 @@ type Hybrid = hybrid.Hybrid
 // closed-form distances only. Implements Placer, so MapTasks applies it
 // directly when tasks outnumber processors.
 type MultilevelMap = core.MultilevelMap
+
+// SFC is the near-linear geometric strategy: tasks ordered by the
+// space-filling-curve index of their coordinates (graph-BFS order when
+// no coordinates exist), contiguous curve runs assigned to processors
+// walked in the machine's own curve order. Implements Placer.
+type SFC = core.SFC
+
+// RCBSFC partitions tasks by recursive coordinate bisection and assigns
+// parts to processors by curve-ordering their centroids (Deveci et al.).
+// Implements Placer.
+type RCBSFC = core.RCBSFC
