@@ -1,0 +1,141 @@
+package main
+
+// The hier suite records the hierarchical-machine story in two tiers.
+// The graph-only tier is the acceptance comparison pinned by
+// core.TestHierBeatsFlatOnStencil: "baseline" rows are the flat
+// strategies in their default configuration run directly on the
+// composite distance metric (the Hierarchy is an ordinary
+// topology.Topology), the "optimized" row is the two-phase mapper
+// (core.HierMap: capacity partition down the levels, leaf kernels,
+// cross-leaf refinement), carrying hop_bytes_ratio (hier ÷ best flat)
+// — the acceptance criterion is ratio ≤ 0.75 on the 2-pod stencil case.
+// The geometric tier ("-geo" rows) re-runs the comparison with task
+// coordinates injected everywhere, the way the service treats pattern
+// jobs: the curve strategies are near-optimal there, and the hier-geo
+// row documents how much the coordinate bisection front-end still wins.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/hiertopo"
+	"repro/internal/taskgraph"
+)
+
+// hierCase is one (pattern, hierarchy) size point.
+type hierCase struct {
+	name   string
+	g      *taskgraph.Graph
+	h      *hiertopo.Hierarchy
+	coords [][]float64
+}
+
+func newHierCase(pattern, spec string) hierCase {
+	g, err := cliutil.ParsePattern(pattern, 1e5, 1)
+	if err != nil {
+		panic(err)
+	}
+	h, err := hiertopo.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return hierCase{
+		name:   pattern + "/hier:" + spec,
+		g:      g,
+		h:      h,
+		coords: cliutil.PatternCoords(pattern, 1),
+	}
+}
+
+// hierCases: the acceptance-pinned ~4k-task stencil on the 2-pod/4-rack/
+// 8-node machine, and (full runs only) a geometry-free random graph plus
+// a ~64k-task stencil on a 16384-processor hierarchy where the
+// effort-scaled capacity partition is what keeps the two-phase mapper
+// ahead.
+func hierCases(quick bool) []hierCase {
+	cs := []hierCase{
+		newHierCase("stencil9:80,48", "pod:2/rack:4/node:8:torus-2x4"),
+	}
+	if !quick {
+		cs = append(cs,
+			newHierCase("rgg:4096,8", "pod:2/rack:4/node:8:torus-2x4"),
+			newHierCase("stencil9:288,228", "pod:4/rack:8/node:16:torus-4x8"),
+		)
+	}
+	return cs
+}
+
+// hierRow benchmarks one placer on the hierarchy's composite metric and
+// returns the row plus its mapping's composite hop-bytes.
+func hierRow(name, mode string, p core.Placer, c hierCase) (Result, float64) {
+	var pl []int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := p.Place(c.g, c.h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl = out
+		}
+	})
+	return benchResult(name+"/"+c.name, mode, r), hiertopo.HierHopBytes(c.g, c.h, pl)
+}
+
+// hierTier runs one comparison tier (a set of flat baselines against one
+// hier configuration) and appends its rows, with the hier row carrying
+// speedup and hop-bytes ratio against the tier's best flat baseline.
+func hierTier(results []Result, c hierCase, hierName string, hier core.Placer,
+	flats []struct {
+		name string
+		p    core.Placer
+	}) []Result {
+	bestHB, bestNs := 0.0, 0.0
+	for _, f := range flats {
+		row, hb := hierRow(f.name, "baseline", f.p, c)
+		results = append(results, row)
+		if bestHB <= 0 || hb < bestHB {
+			bestHB, bestNs = hb, row.NsPerOp
+		}
+	}
+	row, hb := hierRow(hierName, "optimized", hier, c)
+	if bestNs > 0 && row.NsPerOp > 0 {
+		row.Speedup = bestNs / row.NsPerOp
+	}
+	if bestHB > 0 {
+		row.HopBytesRatio = hb / bestHB
+	}
+	fmt.Printf("benchjson: %s %s: hop-bytes ratio %.3f vs best flat\n", hierName, c.name, row.HopBytesRatio)
+	return append(results, row)
+}
+
+// runHierSuite measures each size point: the graph-only acceptance tier
+// always, and the coordinate-informed tier where the pattern has
+// geometry.
+func runHierSuite(quick, smoke bool) []Result {
+	var results []Result
+	cs := hierCases(quick || smoke)
+	if smoke {
+		cs = cs[:1]
+	}
+	type flat = struct {
+		name string
+		p    core.Placer
+	}
+	for _, c := range cs {
+		results = hierTier(results, c, "hier", core.HierMap{}, []flat{
+			{"flat-sfc", core.SFC{}},
+			{"flat-rcb-sfc", core.RCBSFC{}},
+			{"flat-multilevel", core.MultilevelMap{}},
+		})
+		if c.coords != nil {
+			results = hierTier(results, c, "hier-geo", core.HierMap{Coords: c.coords}, []flat{
+				{"flat-sfc-geo", core.SFC{Coords: c.coords}},
+				{"flat-rcb-sfc-geo", core.RCBSFC{Coords: c.coords}},
+			})
+		}
+	}
+	return results
+}

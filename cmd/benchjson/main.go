@@ -29,10 +29,14 @@
 //     sfc and rcb-sfc strategies plus the service's auto portfolio on the
 //     same workloads, with hop_bytes_ratio against the flat baseline. The
 //     curve-codec encode/ rows are gated to 0 allocs/op in every mode.
+//   - suite "hier" (BENCH_hier.json): hierarchical machines, "baseline" =
+//     the flat strategies run directly on the composite distance metric,
+//     "optimized" = the two-phase constrained mapper (core.HierMap), with
+//     hop_bytes_ratio (hier ÷ best flat) per size point.
 //
 // Usage:
 //
-//	benchjson [-suite mapping|netsim|multilevel|service|incremental|geometric] [-out FILE] [-quick] [-smoke]
+//	benchjson [-suite mapping|netsim|multilevel|service|incremental|geometric|hier] [-out FILE] [-quick] [-smoke]
 //
 // Regenerate the matching BENCH_*.json after touching a suite's kernels;
 // the speedup column of the optimized entries against their baseline
@@ -186,7 +190,7 @@ func runMode(mode string, quick bool) []Result {
 }
 
 func main() {
-	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service | incremental | geometric")
+	suite := flag.String("suite", "mapping", "benchmark suite: mapping | netsim | multilevel | service | incremental | geometric | hier")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "smaller sizes only (CI smoke)")
 	smoke := flag.Bool("smoke", false, "netsim/multilevel/service suites: tiny CI subset, write nothing unless -out is set")
@@ -204,6 +208,8 @@ func main() {
 		results = runIncrementalSuite(*quick, *smoke)
 	case "geometric":
 		results = runGeometricSuite(*quick, *smoke)
+	case "hier":
+		results = runHierSuite(*quick, *smoke)
 	case "service":
 		// The service suite measures a load grid (QPS, latency percentiles,
 		// cache hit rates), not ns/op micro-benchmarks, so it writes its own

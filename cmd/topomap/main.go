@@ -32,7 +32,8 @@ import (
 )
 
 func main() {
-	topoSpec := flag.String("topo", "torus:8,8", "topology: torus:D1,D2[,..] | mesh:D1,.. | hypercube:D")
+	topoSpec := flag.String("topo", "torus:8,8",
+		"topology: torus:D1,D2[,..] | mesh:D1,.. | hypercube:D | fattree:A,L | hier:LEVEL:N/..[:LEAF]")
 	patSpec := flag.String("pattern", "", "pattern spec, e.g. mesh2d:8,8 (see internal/cliutil)")
 	graphFile := flag.String("graph", "", "task graph JSON file (alternative to -pattern)")
 	msg := flag.Float64("msg", 1e5, "message bytes per edge for built-in patterns")
@@ -45,7 +46,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON (mappings, reports, and runtime counters) instead of the table")
 	flag.Parse()
 
-	topo, err := cliutil.ParseTopology(*topoSpec)
+	// ParseAnyTopology admits the routing-free machines too (fat-trees,
+	// hierarchies); only the simulator needs per-link routes, and topomap
+	// never simulates.
+	topo, err := cliutil.ParseAnyTopology(*topoSpec)
 	fatalIf(err)
 	g, err := loadGraph(*patSpec, *graphFile, *msg, *seed)
 	fatalIf(err)

@@ -12,10 +12,18 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/hiertopo"
 	"repro/internal/hybrid"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
+
+// TopologyNames lists the topology spec forms ParseAnyTopology accepts.
+// The first three also route and are accepted by ParseTopology.
+func TopologyNames() []string {
+	return []string{"torus:D1,D2[,...]", "mesh:D1[,...]", "hypercube:D",
+		"fattree:ARITY,LEVELS", "hier:pod:2/rack:4/node:8:torus-2x4"}
+}
 
 // ParseInts parses a comma-separated integer list.
 func ParseInts(s string) ([]int, error) {
@@ -35,9 +43,12 @@ func ParseInts(s string) ([]int, error) {
 //
 //	torus:D1,D2[,...] | mesh:D1[,...] | hypercube:D
 //
-// Fat-trees are rejected here because they do not expose per-link routes;
-// use ParseAnyTopology where routing is not required.
+// Fat-trees and hierarchies are rejected here because they do not expose
+// per-link routes; use ParseAnyTopology where routing is not required.
 func ParseTopology(spec string) (topology.Router, error) {
+	if strings.HasPrefix(spec, "hier:") {
+		return nil, fmt.Errorf("cliutil: hierarchical topologies do not support per-link routing; use torus/mesh/hypercube")
+	}
 	kind, dims, err := splitSpec(spec)
 	if err != nil {
 		return nil, err
@@ -55,12 +66,17 @@ func ParseTopology(spec string) (topology.Router, error) {
 	case "fattree":
 		return nil, fmt.Errorf("cliutil: fat-trees do not support per-link routing; use torus/mesh/hypercube")
 	default:
-		return nil, fmt.Errorf("cliutil: unknown topology kind %q", kind)
+		return nil, fmt.Errorf("cliutil: unknown topology kind %q (known: %s)",
+			kind, strings.Join(TopologyNames(), ", "))
 	}
 }
 
-// ParseAnyTopology additionally accepts fattree:K,L for metric-only use.
+// ParseAnyTopology additionally accepts fattree:K,L and hier:SPEC (a
+// hierarchical machine, see internal/hiertopo) for metric-only use.
 func ParseAnyTopology(spec string) (topology.Topology, error) {
+	if rest, ok := strings.CutPrefix(spec, "hier:"); ok {
+		return hiertopo.Parse(rest)
+	}
 	kind, dims, err := splitSpec(spec)
 	if err != nil {
 		return nil, err
@@ -142,8 +158,9 @@ func ParsePattern(spec string, msg float64, seed int64) (*taskgraph.Graph, error
 // StrategyNames lists the names ParseStrategy accepts.
 func StrategyNames() []string {
 	return []string{"topolb", "topolb1", "topolb3", "topolb+refine",
-		"topocentlb", "multilevel", "sfc", "rcb-sfc", "random", "identity",
-		"bokhari", "annealing", "genetic", "arm", "hybrid:BXxBY[x...]"}
+		"topocentlb", "multilevel", "hier", "sfc", "rcb-sfc", "random",
+		"identity", "bokhari", "annealing", "genetic", "arm",
+		"hybrid:BXxBY[x...]"}
 }
 
 // ParseStrategy resolves a strategy name (see StrategyNames). The hybrid
@@ -174,6 +191,10 @@ func ParseStrategy(name string, seed int64) (core.Strategy, error) {
 		return core.TopoCentLB{}, nil
 	case "multilevel":
 		return core.MultilevelMap{}, nil
+	case "hier":
+		// Requires a hier:SPEC topology; the strategy itself reports the
+		// mismatch on flat machines.
+		return core.HierMap{Seed: seed}, nil
 	case "sfc":
 		// Coordinates are injected afterwards via WithCoords where the
 		// caller knows the pattern's geometry; without them the strategy
@@ -268,6 +289,9 @@ func WithCoords(s core.Strategy, coords [][]float64) core.Strategy {
 		st.Coords = coords
 		return st
 	case core.RCBSFC:
+		st.Coords = coords
+		return st
+	case core.HierMap:
 		st.Coords = coords
 		return st
 	case core.RefineTopoLB:

@@ -93,8 +93,8 @@ func TestParsePattern(t *testing.T) {
 
 func TestParseStrategyAll(t *testing.T) {
 	for _, name := range []string{"topolb", "topolb1", "topolb3", "topolb+refine",
-		"topocentlb", "multilevel", "sfc", "rcb-sfc", "random", "identity",
-		"bokhari", "annealing", "genetic", "arm"} {
+		"topocentlb", "multilevel", "hier", "sfc", "rcb-sfc", "random",
+		"identity", "bokhari", "annealing", "genetic", "arm"} {
 		s, err := ParseStrategy(name, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -185,6 +185,9 @@ func TestWithCoords(t *testing.T) {
 	if s := WithCoords(core.RCBSFC{}, coords).(core.RCBSFC); len(s.Coords) != 16 {
 		t.Error("WithCoords did not inject into RCBSFC")
 	}
+	if s := WithCoords(core.HierMap{}, coords).(core.HierMap); len(s.Coords) != 16 {
+		t.Error("WithCoords did not inject into HierMap")
+	}
 	r := WithCoords(core.RefineTopoLB{Base: core.SFC{}}, coords).(core.RefineTopoLB)
 	if len(r.Base.(core.SFC).Coords) != 16 {
 		t.Error("WithCoords did not reach through RefineTopoLB")
@@ -194,5 +197,46 @@ func TestWithCoords(t *testing.T) {
 	}
 	if s := WithCoords(core.SFC{}, nil).(core.SFC); s.Coords != nil {
 		t.Error("nil coords must be a no-op")
+	}
+}
+
+func TestParseAnyTopologyHier(t *testing.T) {
+	topo, err := ParseAnyTopology("hier:pod:2/rack:4/node:8:torus-2x4")
+	if err != nil {
+		t.Fatalf("hier parse: %v", err)
+	}
+	if topo.Nodes() != 512 {
+		t.Fatalf("hier Nodes() = %d, want 512", topo.Nodes())
+	}
+	if _, err := ParseAnyTopology("hier:pod"); err == nil {
+		t.Error("want error for malformed hier spec")
+	}
+	// Hierarchies do not route: ParseTopology must reject them with a
+	// message that points at the routing-capable alternatives.
+	if _, err := ParseTopology("hier:pod:2/rack:4"); err == nil ||
+		!strings.Contains(err.Error(), "routing") {
+		t.Errorf("ParseTopology(hier:...) = %v, want routing rejection", err)
+	}
+}
+
+func TestUnknownTopologyEnumeratesNames(t *testing.T) {
+	// Regression: the unknown-kind error used to say only `unknown
+	// topology kind "wheel"`, leaving the caller to guess the vocabulary.
+	for _, parse := range []func(string) error{
+		func(s string) error { _, err := ParseTopology(s); return err },
+		func(s string) error { _, err := ParseAnyTopology(s); return err },
+	} {
+		err := parse("wheel:3")
+		if err == nil {
+			t.Fatal("want error for unknown topology kind")
+		}
+		for _, want := range []string{"torus", "mesh", "hypercube", "fattree", "hier"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("unknown-topology error %q does not mention %q", err, want)
+			}
+		}
+	}
+	if !strings.Contains(ParseStrategyErr(), "hier") {
+		t.Error("unknown-strategy error should list hier")
 	}
 }

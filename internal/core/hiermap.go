@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hiertopo"
+	"repro/internal/partition"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// This file implements the two-phase hierarchical strategy for machines
+// described by hiertopo.Hierarchy. Phase 1 recursively partitions the
+// task graph across the hierarchy: at every level the vertices of the
+// current region split into exact-capacity groups with
+// partition.CapacityPartition, so each child instance receives precisely
+// the tasks it has processors for (or, when the machine is larger than
+// the job, a compact prefix of children receives at most its capacity —
+// the packing mode the service's placement constraints rely on). Phase 2
+// maps each leaf partition with an ordinary flat kernel against the real
+// leaf topology. A final bounded cross-leaf swap pass refines the result
+// under the composite metric, where moving a byte across an outer level
+// costs an order of magnitude more than crossing an inner one.
+//
+// The expensive machinery never sees the composite distance: partition
+// cuts minimize edge weight (the bytes that will cross a level boundary,
+// whatever its cost), and leaf kernels see only the leaf topology. Only
+// the cheap final refinement consults Hierarchy.DistanceF.
+
+// hierLeafTopoLBMax bounds the leaf size mapped with TopoLB by default;
+// larger leaves use the multilevel kernel, whose cost is near-linear.
+const hierLeafTopoLBMax = 2048
+
+// hierMaxCand bounds the cross-leaf swap candidates examined per task
+// per refinement pass.
+const hierMaxCand = 8
+
+// HierMap is the two-phase hierarchical strategy. It requires a
+// *hiertopo.Hierarchy topology; flat machines should use the ordinary
+// strategies directly. The zero value is ready to use.
+type HierMap struct {
+	// Seed drives the per-level partitioner.
+	Seed int64
+	// Epsilon is the per-level partition slack before exact-count
+	// repair; 0 means the partitioner default.
+	Epsilon float64
+	// RefinePasses bounds the cross-leaf swap sweeps after leaf mapping.
+	// 0 means the default (2); negative disables refinement.
+	RefinePasses int
+	// Leaf maps a full leaf bijectively; nil picks TopoLB for leaves up
+	// to 2048 processors and Multilevel beyond.
+	Leaf Strategy
+	// Coords are per-task positions (row i = task i). When set, phase 1
+	// splits regions by exact-count coordinate bisection instead of graph
+	// partitioning: siblings are equidistant under the composite metric,
+	// so only the bytes cut per level matter, and on geometric workloads
+	// straight axis cuts beat any coarsened graph cut. Nil falls back to
+	// the graph partitioner.
+	Coords [][]float64
+}
+
+var _ Placer = HierMap{}
+
+// Name implements Strategy.
+func (s HierMap) Name() string { return "Hier" }
+
+// Map implements Strategy for the n == p case; the result is a bijection.
+func (s HierMap) Map(g *taskgraph.Graph, t topology.Topology) (Mapping, error) {
+	if err := checkSizes(g, t); err != nil {
+		return nil, err
+	}
+	placement, err := s.Place(g, t)
+	if err != nil {
+		return nil, err
+	}
+	return Mapping(placement), nil
+}
+
+// Place maps n tasks onto the hierarchy. n >= Nodes() is the ordinary
+// surjective Placer contract (every processor receives a task). n <
+// Nodes() is compact packing: tasks occupy the fewest children at every
+// level, always the lowest-ranked ones, leaving the tail of the machine
+// idle — the mode the service uses to honor placement constraints. The
+// result is byte-identical at any GOMAXPROCS.
+func (s HierMap) Place(g *taskgraph.Graph, t topology.Topology) ([]int, error) {
+	h, ok := t.(*hiertopo.Hierarchy)
+	if !ok {
+		return nil, fmt.Errorf("core: hier strategy requires a hierarchical topology (hier:SPEC), got %q", t.Name())
+	}
+	n := g.NumVertices()
+	if n < 1 {
+		return nil, fmt.Errorf("core: hier strategy needs at least one task")
+	}
+	d := &hierDescender{s: s, h: h, placement: make([]int, n)}
+	if len(s.Coords) == n {
+		d.coords = s.Coords
+	}
+	verts := make([]int, n)
+	for i := range verts {
+		verts[i] = i
+	}
+	if err := d.descend(g, verts, 0, 0); err != nil {
+		return nil, err
+	}
+	s.refine(g, h, d.placement)
+	return d.placement, nil
+}
+
+// hierDescender carries the recursion state of phase 1.
+type hierDescender struct {
+	s         HierMap
+	h         *hiertopo.Hierarchy
+	placement []int
+	// coords, when non-nil, holds every original task's position and
+	// routes the per-level splits through geoPartition.
+	coords [][]float64
+}
+
+// descend splits the tasks in verts (whose induced subgraph is sub)
+// across the children of one level-(level-1) instance based at rank
+// base, recursing until the region is a single leaf. Children are
+// processed in ascending order and leaves are mapped serially, so the
+// recursion is deterministic regardless of GOMAXPROCS.
+func (d *hierDescender) descend(sub *taskgraph.Graph, verts []int, level, base int) error {
+	if level == d.h.NumLevels() {
+		return d.mapLeaf(sub, verts, base)
+	}
+	m := len(verts)
+	childInst := d.h.InstanceSize(level)
+	// Fewest children that can hold m tasks, capped at the fan-out: the
+	// surjective case (m >= fanout*childInst) always uses every child,
+	// the packing case uses a compact prefix.
+	k := (m + childInst - 1) / childInst
+	if f := d.h.Levels()[level].Count; k > f {
+		k = f
+	}
+	if k == 1 {
+		return d.descend(sub, verts, level+1, base)
+	}
+	// Balanced exact targets: child i receives ceil((i+1)m/k)-ceil(im/k)
+	// tasks. When m >= k*childInst every target is >= childInst (the
+	// child can go surjective); when m < k*childInst every target is
+	// <= childInst (the child can pack).
+	targets := make([]int, k)
+	prev := 0
+	for i := 1; i <= k; i++ {
+		cut := (i*m + k - 1) / k
+		targets[i-1] = cut - prev
+		prev = cut
+	}
+	var groups [][]int
+	if d.coords != nil {
+		groups = d.geoPartition(verts, targets)
+	} else {
+		// Outer cuts carry exponentially higher composite cost, so the
+		// outermost split gets the most partitioner effort; the budget decays
+		// toward the defaults as the recursion descends. Coarsening stops
+		// early (scaled to the region, capped at 4096) because cut quality on
+		// these make-or-break splits is worth the extra bisection time.
+		effort := d.h.NumLevels() - level
+		coarsenTo := m / 16
+		if coarsenTo > 4096 {
+			coarsenTo = 4096
+		}
+		if coarsenTo < 128 {
+			coarsenTo = 0 // partitioner default
+		}
+		r, err := partition.CapacityPartition(sub, targets, partition.Multilevel{
+			Seed:         d.s.Seed ^ int64(base)<<20 ^ int64(level),
+			Epsilon:      d.s.Epsilon,
+			BisectTries:  4 * effort,
+			RefinePasses: 4 * effort,
+			CoarsenTo:    coarsenTo,
+		})
+		if err != nil {
+			return fmt.Errorf("core: hier split at level %d: %w", level, err)
+		}
+		groups = make([][]int, k)
+		for i := range groups {
+			groups[i] = make([]int, 0, targets[i])
+		}
+		for v, q := range r.Assign {
+			groups[q] = append(groups[q], v)
+		}
+	}
+	for i, local := range groups {
+		childVerts := make([]int, len(local))
+		for j, lv := range local {
+			childVerts[j] = verts[lv]
+		}
+		subChild, err := taskgraph.Induced(sub, local)
+		if err != nil {
+			return fmt.Errorf("core: hier split at level %d: %w", level, err)
+		}
+		if err := d.descend(subChild, childVerts, level+1, base+i*childInst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// geoPartition splits the region's local indices into len(targets)
+// groups of exactly targets[i] vertices by recursive exact-count
+// coordinate bisection: the target list halves, the region's points sort
+// along the widest axis of their bounding box (ties broken by original
+// task id), and the leading points fill the left targets' summed count
+// exactly. Groups come back in targets order with ascending members —
+// fully deterministic, no RNG, no floats compared for equality.
+func (d *hierDescender) geoPartition(verts []int, targets []int) [][]int {
+	local := make([]int, len(verts))
+	for i := range local {
+		local[i] = i
+	}
+	groups := make([][]int, 0, len(targets))
+	d.geoSplit(local, verts, targets, &groups)
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+// geoSplit recursively bisects local (indices into verts) to match
+// targets, appending one group per target to out in order.
+func (d *hierDescender) geoSplit(local []int, verts []int, targets []int, out *[][]int) {
+	if len(targets) == 1 {
+		*out = append(*out, local)
+		return
+	}
+	mid := len(targets) / 2
+	sumLeft := 0
+	for _, t := range targets[:mid] {
+		sumLeft += t
+	}
+	axis := d.widestAxis(local, verts)
+	sort.SliceStable(local, func(a, b int) bool {
+		ca, cb := d.coord(verts[local[a]], axis), d.coord(verts[local[b]], axis)
+		if ca < cb {
+			return true
+		}
+		if cb < ca {
+			return false
+		}
+		return verts[local[a]] < verts[local[b]]
+	})
+	d.geoSplit(local[:sumLeft], verts, targets[:mid], out)
+	d.geoSplit(local[sumLeft:], verts, targets[mid:], out)
+}
+
+// coord reads one axis of a task's position; absent axes read 0.
+func (d *hierDescender) coord(v, axis int) float64 {
+	if c := d.coords[v]; axis < len(c) {
+		return c[axis]
+	}
+	return 0
+}
+
+// widestAxis picks the axis with the largest coordinate extent over the
+// region (lowest axis wins ties), so successive cuts stay short.
+func (d *hierDescender) widestAxis(local []int, verts []int) int {
+	dims := 0
+	for _, li := range local {
+		if l := len(d.coords[verts[li]]); l > dims {
+			dims = l
+		}
+	}
+	best, bestExt := 0, -1.0
+	for ax := 0; ax < dims; ax++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, li := range local {
+			c := d.coord(verts[li], ax)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if ext := hi - lo; ext > bestExt {
+			best, bestExt = ax, ext
+		}
+	}
+	return best
+}
+
+// mapLeaf places the tasks in verts onto the leaf based at rank base:
+// a full leaf maps bijectively with the leaf kernel, an overfull leaf
+// goes through the multilevel placer, and an underfull leaf maps onto a
+// compact prefix of the leaf's locality order.
+func (d *hierDescender) mapLeaf(sub *taskgraph.Graph, verts []int, base int) error {
+	m := len(verts)
+	slf := d.h.LeafSize()
+	if slf == 1 {
+		for _, v := range verts {
+			d.placement[v] = base
+		}
+		return nil
+	}
+	leaf := d.h.Leaf()
+	switch {
+	case m == slf:
+		mm, err := d.leafStrategy(m).Map(sub, leaf)
+		if err != nil {
+			return fmt.Errorf("core: hier leaf at rank %d: %w", base, err)
+		}
+		for i, v := range verts {
+			d.placement[v] = base + mm[i]
+		}
+	case m > slf:
+		pl, err := MultilevelMap{}.Place(sub, leaf)
+		if err != nil {
+			return fmt.Errorf("core: hier leaf at rank %d: %w", base, err)
+		}
+		for i, v := range verts {
+			d.placement[v] = base + pl[i]
+		}
+	default: // m < slf: pack onto the head of the leaf's locality order
+		order := localityOrder(leaf)
+		mm, err := d.leafStrategy(m).Map(sub, newPrefixTopology(leaf, order[:m]))
+		if err != nil {
+			return fmt.Errorf("core: hier leaf at rank %d: %w", base, err)
+		}
+		for i, v := range verts {
+			d.placement[v] = base + int(order[mm[i]])
+		}
+	}
+	return nil
+}
+
+// leafStrategy picks the bijective kernel for an m-processor leaf view.
+func (d *hierDescender) leafStrategy(m int) Strategy {
+	if d.s.Leaf != nil {
+		return d.s.Leaf
+	}
+	if m <= hierLeafTopoLBMax {
+		return TopoLB{}
+	}
+	return MultilevelMap{}
+}
+
+// prefixTopology views the first len(reps) processors of a leaf's
+// locality order as a topology of their own, so a bijective kernel can
+// pack an underfull leaf. Ephemeral: its distances depend on the prefix
+// length, not just the leaf's name.
+type prefixTopology struct {
+	t    topology.Topology
+	reps []int32
+	name string
+}
+
+func newPrefixTopology(t topology.Topology, reps []int32) *prefixTopology {
+	return &prefixTopology{t: t, reps: reps, name: fmt.Sprintf("hierprefix(%s,%d)", t.Name(), len(reps))}
+}
+
+// EphemeralTopology marks the adapter as non-cacheable.
+func (p *prefixTopology) EphemeralTopology() {}
+
+var _ topology.Ephemeral = (*prefixTopology)(nil)
+
+func (p *prefixTopology) Nodes() int   { return len(p.reps) }
+func (p *prefixTopology) Name() string { return p.name }
+
+func (p *prefixTopology) Distance(a, b int) int {
+	return p.t.Distance(int(p.reps[a]), int(p.reps[b]))
+}
+
+// Neighbors returns nil: the bijective kernels never consult machine
+// adjacency on this adapter.
+func (p *prefixTopology) Neighbors(a int) []int { return nil }
+
+// refine runs serial cross-leaf swap sweeps under the composite metric:
+// for each task in ascending order, the first few communication partners
+// living in other leaves are tried as swap partners, and the first
+// partner achieving the best strictly-improving composite hop-bytes
+// delta wins. Swaps exchange whole placements, so per-processor task
+// counts are preserved in every mode. Serial and first-wins, the pass is
+// byte-identical at any GOMAXPROCS.
+func (s HierMap) refine(g *taskgraph.Graph, h *hiertopo.Hierarchy, placement []int) {
+	passes := s.RefinePasses
+	if passes == 0 {
+		passes = 2
+	}
+	if passes < 0 {
+		return
+	}
+	n := g.NumVertices()
+	for pass := 0; pass < passes; pass++ {
+		moves := 0
+		for v := 0; v < n; v++ {
+			pv := placement[v]
+			adj, _ := g.Neighbors(v)
+			best := -1
+			bestDelta := -swapEps
+			cands := 0
+			for _, u32 := range adj {
+				u := int(u32)
+				if h.DivergeLevel(pv, placement[u]) < 0 {
+					continue // same leaf: the leaf kernel already optimized it
+				}
+				cands++
+				if cands > hierMaxCand {
+					break
+				}
+				if delta := hierSwapDelta(g, h, placement, v, u); delta < bestDelta {
+					best, bestDelta = u, delta
+				}
+			}
+			if best >= 0 {
+				placement[v], placement[best] = placement[best], placement[v]
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// hierSwapDelta returns the change in composite hop-bytes if tasks v and
+// u exchange processors. The v–u edge, if any, is symmetric under the
+// swap and skipped.
+func hierSwapDelta(g *taskgraph.Graph, h *hiertopo.Hierarchy, placement []int, v, u int) float64 {
+	pv, pu := placement[v], placement[u]
+	d := 0.0
+	adj, w := g.Neighbors(v)
+	for i, x := range adj {
+		if int(x) == u {
+			continue
+		}
+		px := placement[x]
+		d += w[i] * (h.DistanceF(pu, px) - h.DistanceF(pv, px))
+	}
+	adj, w = g.Neighbors(u)
+	for i, x := range adj {
+		if int(x) == v {
+			continue
+		}
+		px := placement[x]
+		d += w[i] * (h.DistanceF(pv, px) - h.DistanceF(pu, px))
+	}
+	return d
+}

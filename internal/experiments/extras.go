@@ -25,6 +25,7 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 		"extras-buffered":   func() (*Table, error) { return ExtrasBuffered(quick) },
 		"extras-wormhole":   func() (*Table, error) { return ExtrasWormhole(quick) },
 		"extras-sfc":        func() (*Table, error) { return ExtrasSFC(quick) },
+		"extras-hier":       func() (*Table, error) { return ExtrasHier(quick) },
 		"scale-multilevel":  func() (*Table, error) { return ExtrasScaleMultilevel(quick) },
 	}
 }
@@ -33,7 +34,7 @@ func ExtrasRegistry(quick bool) map[string]func() (*Table, error) {
 func ExtrasIDs() []string {
 	return []string{"extras-strategies", "extras-hybrid", "extras-routing",
 		"extras-scaling", "extras-modern", "extras-buffered", "extras-wormhole",
-		"extras-sfc", "scale-multilevel"}
+		"extras-sfc", "extras-hier", "scale-multilevel"}
 }
 
 // ExtrasStrategies pits TopoLB against the related-work algorithms of §2

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/hiertopo"
+)
+
+// ExtrasHier sweeps the per-level cost ratio of a 2-pod/4-rack/8-node
+// hierarchical machine and compares the two-phase hier mapper against
+// hierarchy-oblivious placers on composite hops/byte. At ratio 1 the
+// hierarchy degenerates to "every cross-leaf byte costs the same" and
+// flat mapping is competitive; as inter-level bandwidth gaps widen
+// (ratio 10 ≈ the pod/rack/node gaps of real clusters) the exact-
+// capacity level cuts pull ahead. Strategies see what topomapd would
+// feed them: the pattern's coordinates (the stencil's lattice, the
+// random-geometric generator's points) alongside the graph.
+func ExtrasHier(quick bool) (*Table, error) {
+	workloads := []string{"stencil9:80,48", "rgg:3840,8"}
+	if quick {
+		workloads = []string{"stencil9:40,24", "rgg:960,8"}
+	}
+	ratios := []float64{1, 3, 10}
+	t := &Table{
+		ID:      "extras-hier",
+		Title:   "two-phase hier mapper vs flat placers across level-cost ratios (2-pod/4-rack/8-node, torus-2x4 leaves)",
+		Columns: []string{"workload", "cost_ratio", "strategy", "hops_per_byte", "runtime_ms"},
+		Notes: "workload column: 1=" + workloads[0] + " 2=" + workloads[1] +
+			"; strategy column: 1=sfc 2=rcb-sfc 3=multilevel 4=hier; composite hops/byte under the swept metric",
+	}
+	for wi, pattern := range workloads {
+		g, err := cliutil.ParsePattern(pattern, 1e5, 1)
+		if err != nil {
+			return nil, err
+		}
+		coords := cliutil.PatternCoords(pattern, 1)
+		for _, r := range ratios {
+			spec := fmt.Sprintf("pod:2@%g/rack:4@%g/node:8@%g:torus-2x4", r*r*r, r*r, r)
+			h, err := hiertopo.Parse(spec)
+			if err != nil {
+				return nil, err
+			}
+			strategies := []core.Placer{
+				core.SFC{Coords: coords},
+				core.RCBSFC{Coords: coords},
+				core.MultilevelMap{},
+				core.HierMap{Coords: coords},
+			}
+			for si, s := range strategies {
+				start := time.Now()
+				pl, err := s.Place(g, h)
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, []float64{
+					float64(wi + 1),
+					r,
+					float64(si + 1),
+					hiertopo.HierHopBytes(g, h, pl) / g.TotalComm(),
+					float64(time.Since(start).Microseconds()) / 1e3,
+				})
+			}
+		}
+	}
+	return t, nil
+}

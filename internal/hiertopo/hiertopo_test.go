@@ -1,0 +1,258 @@
+package hiertopo
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func mustParse(t *testing.T, spec string) *Hierarchy {
+	t.Helper()
+	h, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return h
+}
+
+func TestParseReference(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:4/node:8:torus-2x4")
+	if got := h.Nodes(); got != 2*4*8*8 {
+		t.Fatalf("Nodes() = %d, want %d", got, 2*4*8*8)
+	}
+	if got := h.LeafSize(); got != 8 {
+		t.Fatalf("LeafSize() = %d, want 8", got)
+	}
+	if got := h.NumLevels(); got != 3 {
+		t.Fatalf("NumLevels() = %d, want 3", got)
+	}
+	wantInst := []int{256, 64, 8}
+	for i, want := range wantInst {
+		if got := h.InstanceSize(i); got != want {
+			t.Fatalf("InstanceSize(%d) = %d, want %d", i, got, want)
+		}
+	}
+	wantCost := []float64{1000, 100, 10}
+	for i, lv := range h.Levels() {
+		if lv.Cost != wantCost[i] {
+			t.Fatalf("level %d cost = %g, want %g", i, lv.Cost, wantCost[i])
+		}
+	}
+	if h.LevelIndex("rack") != 1 || h.LevelIndex("nope") != -1 {
+		t.Fatalf("LevelIndex lookup broken")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"pod:2/rack:4/node:8:torus-2x4",
+		"pod:2/rack:4@250/node:8:torus-2x4",
+		"zone:3/host:5",
+		"node:8:fattree-2x2",
+		"core:16",
+	} {
+		h := mustParse(t, spec)
+		if got := h.Spec(); got != spec {
+			t.Fatalf("Spec() = %q, want round-trip of %q", got, spec)
+		}
+		h2 := mustParse(t, h.Spec())
+		if h2.Name() != h.Name() || h2.Nodes() != h.Nodes() {
+			t.Fatalf("re-parse of %q changed identity: %q vs %q", spec, h2.Name(), h.Name())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                            // no segments
+		"pod",                         // missing count
+		"pod:x",                       // bad count
+		"pod:2@abc",                   // bad cost
+		"pod:2:torus-2x4/rack:4",      // leaf on outer level
+		"pod:2/pod:4",                 // duplicate name
+		"Pod:2",                       // uppercase name
+		"9pod:2",                      // leading digit
+		"pod:0",                       // zero count
+		"pod:2@0.5",                   // cost below 1
+		"pod:2@10/rack:4@100",         // cost increasing inward
+		"pod:2/rack:4:wheel-3",        // unknown leaf kind
+		"pod:2/rack:4:torus",          // leaf without dims
+		"a:100/b:100/c:100/d:100",     // 10^8 > maxNodes
+		"a:1/b:1/c:1/d:1/e:1/f:1/g:1", // too many levels
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDistanceComposite(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:4/node:8:torus-2x4")
+	leaf := topology.MustTorus(2, 4)
+	// Same leaf: exact leaf distance, at both a base leaf and an offset one.
+	for _, base := range []int{0, 8 * 37} {
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				if got, want := h.Distance(base+a, base+b), leaf.Distance(a, b); got != want {
+					t.Fatalf("intra-leaf Distance(%d,%d) = %d, want %d", base+a, base+b, got, want)
+				}
+			}
+		}
+	}
+	// Crossing levels: node boundary 10, rack 100, pod 1000.
+	if got := h.Distance(0, 8); got != 10 {
+		t.Fatalf("cross-node distance = %d, want 10", got)
+	}
+	if got := h.Distance(0, 64); got != 100 {
+		t.Fatalf("cross-rack distance = %d, want 100", got)
+	}
+	if got := h.Distance(0, 256); got != 1000 {
+		t.Fatalf("cross-pod distance = %d, want 1000", got)
+	}
+	// DistanceF agrees with Distance for integral costs, and symmetry holds.
+	for _, pair := range [][2]int{{0, 3}, {0, 8}, {5, 70}, {100, 300}, {511, 0}} {
+		a, b := pair[0], pair[1]
+		if got, want := h.DistanceF(a, b), float64(h.Distance(a, b)); got != want {
+			t.Fatalf("DistanceF(%d,%d) = %g, want %g", a, b, got, want)
+		}
+		if h.Distance(a, b) != h.Distance(b, a) {
+			t.Fatalf("Distance not symmetric at (%d,%d)", a, b)
+		}
+	}
+	if h.Distance(42, 42) != 0 {
+		t.Fatalf("Distance(a,a) != 0")
+	}
+	if HierDistance(h, 0, 256) != 1000 {
+		t.Fatalf("HierDistance disagrees with DistanceF")
+	}
+}
+
+func TestDivergeLevel(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:4/node:8:torus-2x4")
+	cases := []struct{ a, b, want int }{
+		{0, 7, -1}, {0, 8, 2}, {0, 63, 2}, {0, 64, 1}, {0, 255, 1}, {0, 256, 0}, {511, 0, 0},
+	}
+	for _, c := range cases {
+		if got := h.DivergeLevel(c.a, c.b); got != c.want {
+			t.Fatalf("DivergeLevel(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMatrixAgrees(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:2/node:4:mesh-2x2")
+	dm := topology.NewDistanceMatrix(h)
+	for a := 0; a < h.Nodes(); a++ {
+		for b := 0; b < h.Nodes(); b++ {
+			if int(dm.Lookup(a, b)) != h.Distance(a, b) {
+				t.Fatalf("matrix disagrees at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:4/node:8:torus-2x4")
+	leaf := topology.MustTorus(2, 4)
+	base := 8 * 5
+	for a := 0; a < 8; a++ {
+		got := h.Neighbors(base + a)
+		want := leaf.Neighbors(a)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) has %d entries, want %d", base+a, len(got), len(want))
+		}
+		for i, q := range want {
+			if got[i] != base+q {
+				t.Fatalf("Neighbors(%d)[%d] = %d, want %d", base+a, i, got[i], base+q)
+			}
+		}
+	}
+	// Unit leaves: siblings within the innermost group.
+	u := mustParse(t, "rack:2/node:4")
+	nb := u.Neighbors(5)
+	want := []int{4, 6, 7}
+	if len(nb) != len(want) {
+		t.Fatalf("unit-leaf Neighbors(5) = %v, want %v", nb, want)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("unit-leaf Neighbors(5) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestSubtreePrefixIdentity(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:4@250/node:8:torus-2x4")
+	for lvl := 0; lvl < h.NumLevels(); lvl++ {
+		sub, err := h.Subtree(lvl)
+		if err != nil {
+			t.Fatalf("Subtree(%d): %v", lvl, err)
+		}
+		if sub.Nodes() != h.InstanceSize(lvl) {
+			t.Fatalf("Subtree(%d) has %d nodes, want %d", lvl, sub.Nodes(), h.InstanceSize(lvl))
+		}
+		for a := 0; a < sub.Nodes(); a++ {
+			for b := 0; b < sub.Nodes(); b++ {
+				if sub.Distance(a, b) != h.Distance(a, b) {
+					t.Fatalf("Subtree(%d) distance (%d,%d) = %d, parent %d",
+						lvl, a, b, sub.Distance(a, b), h.Distance(a, b))
+				}
+			}
+		}
+	}
+	if _, err := h.Subtree(3); err == nil {
+		t.Fatalf("Subtree(3) succeeded, want range error")
+	}
+}
+
+func TestBandwidthDerivedCost(t *testing.T) {
+	h, err := New([]Level{
+		{Name: "pod", Count: 2, Bandwidth: 0.001},
+		{Name: "rack", Count: 2, Bandwidth: 0.02},
+	}, "")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	lv := h.Levels()
+	if lv[0].Cost != 1000 || lv[1].Cost != 50 {
+		t.Fatalf("bandwidth-derived costs = %g, %g; want 1000, 50", lv[0].Cost, lv[1].Cost)
+	}
+	if got := h.Distance(0, 1); got != 50 {
+		t.Fatalf("cross-rack distance = %d, want 50", got)
+	}
+}
+
+func TestJSONSpecBuild(t *testing.T) {
+	raw := `{"levels":[{"name":"pod","count":2},{"name":"rack","count":4},
+		{"name":"node","count":8,"latency":1e-6}],"leaf":"torus-2x4"}`
+	var s Spec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	h, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := mustParse(t, "pod:2/rack:4/node:8:torus-2x4")
+	if h.Name() != want.Name() {
+		t.Fatalf("JSON build = %q, want %q", h.Name(), want.Name())
+	}
+	if h.Levels()[2].Latency != 1e-6 {
+		t.Fatalf("latency annotation lost")
+	}
+}
+
+func TestHierHopBytes(t *testing.T) {
+	h := mustParse(t, "pod:2/rack:2/node:2:mesh-2")
+	// Three tasks: 0-1 same leaf (distance 1), 0-2 across racks (100).
+	b := taskgraph.NewBuilder(3)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 2, 2)
+	g := b.Build("t")
+	m := []int{0, 1, 4}
+	if got, want := HierHopBytes(g, h, m), 5*1.0+2*100.0; got != want {
+		t.Fatalf("HierHopBytes = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,177 @@
+package hiertopo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Parse builds a hierarchy from its compact spec:
+//
+//	pod:2/rack:4/node:8:torus-2x4
+//
+// Levels are listed outermost first as name:count segments separated by
+// "/". A segment may append "@cost" to override that level's composite
+// cost ("rack:4@50"). The innermost segment may append a third field
+// binding the leaf topology: torus-D1xD2[x...], mesh-D1[x...],
+// hypercube-D, or fattree-ARITYxLEVELS; without it every leaf is a
+// single processor. Parse(h.Spec()) reproduces h exactly.
+func Parse(spec string) (*Hierarchy, error) {
+	segs := strings.Split(spec, "/")
+	levels := make([]Level, 0, len(segs))
+	leafSpec := ""
+	for si, seg := range segs {
+		parts := strings.Split(seg, ":")
+		switch {
+		case len(parts) < 2:
+			return nil, fmt.Errorf("hiertopo: level segment %q needs name:count", seg)
+		case len(parts) == 3:
+			if si != len(segs)-1 {
+				return nil, fmt.Errorf("hiertopo: only the innermost level may bind a leaf topology (segment %q)", seg)
+			}
+			leafSpec = parts[2]
+		case len(parts) > 3:
+			return nil, fmt.Errorf("hiertopo: level segment %q has too many fields", seg)
+		}
+		lv := Level{Name: parts[0]}
+		countStr, costStr, hasCost := strings.Cut(parts[1], "@")
+		count, err := strconv.Atoi(countStr)
+		if err != nil {
+			return nil, fmt.Errorf("hiertopo: bad count %q in segment %q", countStr, seg)
+		}
+		lv.Count = count
+		if hasCost {
+			cost, err := strconv.ParseFloat(costStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hiertopo: bad cost %q in segment %q", costStr, seg)
+			}
+			lv.Cost = cost
+		}
+		levels = append(levels, lv)
+	}
+	return New(levels, leafSpec)
+}
+
+// buildSpec renders the canonical compact spec: default costs are
+// omitted, explicit ones appear as "@cost", and a non-trivial leaf is
+// bound to the innermost segment.
+func (h *Hierarchy) buildSpec() string {
+	var b strings.Builder
+	L := len(h.levels)
+	for i, lv := range h.levels {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString(lv.Name)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(lv.Count))
+		//lint:ignore floatcmp resolved costs equal to the deterministic default are omitted from the canonical spec; both sides come from the same resolution path
+		if lv.Cost != defaultCost(i, L) {
+			b.WriteByte('@')
+			b.WriteString(strconv.FormatFloat(lv.Cost, 'g', -1, 64))
+		}
+	}
+	if h.leafSpec != "" {
+		b.WriteByte(':')
+		b.WriteString(h.leafSpec)
+	}
+	return b.String()
+}
+
+// parseLeaf resolves a leaf topology spec to a topology and its
+// canonical form. "" binds single-processor leaves.
+func parseLeaf(spec string) (topology.Topology, string, error) {
+	if spec == "" {
+		m, err := topology.NewMesh(1)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "", nil
+	}
+	kind, rest, ok := strings.Cut(spec, "-")
+	if !ok {
+		return nil, "", fmt.Errorf("hiertopo: leaf spec %q needs kind-dims (e.g. torus-2x4)", spec)
+	}
+	parts := strings.Split(rest, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, "", fmt.Errorf("hiertopo: bad leaf dimension %q in %q", p, spec)
+		}
+		dims[i] = v
+	}
+	var (
+		t   topology.Topology
+		err error
+	)
+	switch kind {
+	case "torus":
+		t, err = topology.NewTorus(dims...)
+	case "mesh":
+		t, err = topology.NewMesh(dims...)
+	case "hypercube":
+		if len(dims) != 1 {
+			return nil, "", fmt.Errorf("hiertopo: leaf hypercube takes one dimension, got %q", spec)
+		}
+		t, err = topology.NewHypercube(dims[0])
+	case "fattree":
+		if len(dims) != 2 {
+			return nil, "", fmt.Errorf("hiertopo: leaf fattree takes arity and levels, got %q", spec)
+		}
+		t, err = topology.NewFatTree(dims[0], dims[1])
+	default:
+		return nil, "", fmt.Errorf("hiertopo: unknown leaf topology kind %q (known: torus, mesh, hypercube, fattree)", kind)
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("hiertopo: leaf %q: %w", spec, err)
+	}
+	if t.Nodes() > maxFanout {
+		return nil, "", fmt.Errorf("hiertopo: leaf %q has %d processors, limit %d", spec, t.Nodes(), maxFanout)
+	}
+	canon := kind + "-" + strings.Join(parts, "x")
+	return t, canon, nil
+}
+
+// LevelSpec is the JSON wire form of one level.
+type LevelSpec struct {
+	Name string `json:"name"`
+	// Count is the level's fan-out.
+	Count int `json:"count"`
+	// Cost is the composite distance charged when a message's endpoints
+	// diverge at this level; 0 derives it from Bandwidth or the 10×
+	// positional default.
+	Cost float64 `json:"cost,omitempty"`
+	// Bandwidth is the level's relative link bandwidth (leaf links = 1).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Latency annotates the level in seconds; it is not part of the
+	// distance metric.
+	Latency float64 `json:"latency,omitempty"`
+}
+
+// Spec is the JSON wire form of a hierarchy, as topomapd's "hierarchy"
+// job field accepts:
+//
+//	{"levels": [{"name": "pod", "count": 2}, {"name": "rack", "count": 4},
+//	            {"name": "node", "count": 8}], "leaf": "torus-2x4"}
+type Spec struct {
+	Levels []LevelSpec `json:"levels"`
+	Leaf   string      `json:"leaf,omitempty"`
+}
+
+// Build constructs the hierarchy a Spec describes.
+func (s *Spec) Build() (*Hierarchy, error) {
+	levels := make([]Level, len(s.Levels))
+	for i, ls := range s.Levels {
+		levels[i] = Level{
+			Name:      strings.ToLower(strings.TrimSpace(ls.Name)),
+			Count:     ls.Count,
+			Cost:      ls.Cost,
+			Bandwidth: ls.Bandwidth,
+			Latency:   ls.Latency,
+		}
+	}
+	return New(levels, strings.ToLower(strings.TrimSpace(s.Leaf)))
+}

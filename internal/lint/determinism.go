@@ -21,6 +21,7 @@ var algorithmPkgs = []string{
 	"internal/taskgraph",
 	"internal/topology",
 	"internal/sfc",
+	"internal/hiertopo",
 	// The mapping service caches and coalesces responses by content key,
 	// which is only sound if its responses are bit-for-bit reproducible.
 	"internal/service",
@@ -32,7 +33,7 @@ func init() {
 		Doc: "flags `range` over a map in algorithm packages (internal/core, " +
 			"internal/netsim, internal/parallel, internal/partition, " +
 			"internal/baselines, internal/taskgraph, internal/topology, " +
-			"internal/sfc, internal/service) " +
+			"internal/sfc, internal/hiertopo, internal/service) " +
 			"unless the loop only " +
 			"collects keys/values that " +
 			"are sorted immediately afterwards; map iteration order would " +

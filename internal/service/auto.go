@@ -42,8 +42,15 @@ var autoCandidates = []autoCandidate{
 	{"multilevel", func([][]float64) core.Strategy { return core.MultilevelMap{} }},
 }
 
-// numAutoCandidates sizes the fixed-order /stats counter arrays.
-const numAutoCandidates = 5
+// hierCandidate is the two-phase hierarchical mapper, admitted (last, at
+// /stats index len(autoCandidates)) only when the job's topology is a
+// hierarchy — it refuses flat machines. The job seed is injected by
+// computeAuto so portfolio runs match direct strategy=hier jobs.
+var hierCandidate = autoCandidate{"hier", func(c [][]float64) core.Strategy { return core.HierMap{Coords: c} }}
+
+// numAutoCandidates sizes the fixed-order /stats counter arrays: the flat
+// portfolio plus the hierarchy-only hier candidate.
+const numAutoCandidates = 6
 
 // autoFloor is how many leading candidates run regardless of budget.
 const autoFloor = 2
@@ -76,11 +83,12 @@ type AutoStrategy struct {
 }
 
 // autoEstMS is the cost model: a deterministic estimate in milliseconds
-// of candidate i on a job with n tasks, m edges, and p processors.
-// Constants are calibrated against cmd/benchjson -suite geometric on the
-// reference container and err on the high side, so budget overruns stay
-// bounded by model error rather than unbounded.
-func autoEstMS(i, n, m, p int) float64 {
+// of the named candidate on a job with n tasks, m edges, and p
+// processors. Constants are calibrated against cmd/benchjson -suite
+// geometric (and -suite hier for the hier candidate) on the reference
+// container and err on the high side, so budget overruns stay bounded by
+// model error rather than unbounded.
+func autoEstMS(name string, n, m, p int) float64 {
 	nf, mf, pf := float64(n), float64(m), float64(p)
 	logn := math.Log2(nf + 1)
 	logp := math.Log2(pf + 1)
@@ -90,7 +98,7 @@ func autoEstMS(i, n, m, p int) float64 {
 	if n > p {
 		partMS = (nf + mf) * logp * 1e-4
 	}
-	switch autoCandidates[i].name {
+	switch name {
 	case "sfc":
 		return nf*logn*3e-5 + mf*1.5e-5
 	case "rcb-sfc":
@@ -101,19 +109,27 @@ func autoEstMS(i, n, m, p int) float64 {
 		return partMS + pf*pf*logp*2.5e-4
 	case "multilevel":
 		return (nf+mf)*logn*6e-5 + pf*pf*2e-4
+	case "hier":
+		// Dominated by the per-level capacity partitions with their
+		// low-coarsening top splits.
+		return (nf + mf) * logp * 6e-4
 	}
 	return 0
 }
 
 // defaultAutoBudgetMS derives the budget for jobs that do not set
-// auto_budget_ms: twice the full portfolio's estimate, clamped to
+// auto_budget_ms: twice the job's full portfolio estimate (including the
+// hier candidate only on hierarchical topologies), clamped to
 // [50ms, 10s]. Small and medium jobs therefore run every candidate by
 // default; very large jobs shed the expensive tail unless the client
 // raises the budget explicitly.
-func defaultAutoBudgetMS(n, m, p int) int {
+func defaultAutoBudgetMS(n, m, p int, hier bool) int {
 	est := 0.0
-	for i := range autoCandidates {
-		est += autoEstMS(i, n, m, p)
+	for _, c := range autoCandidates {
+		est += autoEstMS(c.name, n, m, p)
+	}
+	if hier {
+		est += autoEstMS(hierCandidate.name, n, m, p)
 	}
 	b := int(2*est) + 1
 	if b < 50 {
@@ -130,10 +146,14 @@ func defaultAutoBudgetMS(n, m, p int) int {
 // partition quality. Candidate errors are recorded and survived; only a
 // portfolio with zero successful candidates fails.
 func (j *job) computeAuto(res *JobResult) ([]int, error) {
-	n, m, p := j.graph.NumVertices(), j.graph.NumEdges(), j.topo.Nodes()
+	n, m, p := j.graph.NumVertices(), j.graph.NumEdges(), j.mapTopo.Nodes()
 	budget := float64(j.spec.AutoBudgetMS)
+	cands := autoCandidates
+	if j.hier != nil {
+		cands = append(append([]autoCandidate(nil), autoCandidates...), hierCandidate)
+	}
 	report := &AutoReport{Winner: "", BudgetMS: j.spec.AutoBudgetMS,
-		Strategies: make([]AutoStrategy, len(autoCandidates))}
+		Strategies: make([]AutoStrategy, len(cands))}
 
 	type outcome struct {
 		mapping  []int
@@ -145,8 +165,8 @@ func (j *job) computeAuto(res *JobResult) ([]int, error) {
 	bestIdx := -1
 	spent := 0.0
 	var portfolioNs int64
-	for i, c := range autoCandidates {
-		est := autoEstMS(i, n, m, p)
+	for i, c := range cands {
+		est := autoEstMS(c.name, n, m, p)
 		entry := AutoStrategy{Strategy: c.name, EstMS: est}
 		if i >= autoFloor && spent+est > budget {
 			entry.Skipped = true
@@ -157,10 +177,17 @@ func (j *job) computeAuto(res *JobResult) ([]int, error) {
 			continue
 		}
 		spent += est
+		strat := c.strat(j.coords)
+		if hm, ok := strat.(core.HierMap); ok {
+			// The hier candidate partitions with the job seed, exactly as
+			// a direct strategy=hier job would.
+			hm.Seed = j.spec.Seed
+			strat = hm
+		}
 		//lint:ignore seededrand wall-clock here feeds only the /stats counters; admission and the response body depend solely on the deterministic cost model
 		start := time.Now()
 		var sub JobResult
-		mapping, err := j.runStrategy(c.strat(j.coords), &sub)
+		mapping, err := j.runStrategy(strat, &sub)
 		//lint:ignore seededrand wall-clock here feeds only the /stats counters; admission and the response body depend solely on the deterministic cost model
 		elapsed := time.Since(start)
 		portfolioNs += int64(elapsed)
@@ -185,7 +212,7 @@ func (j *job) computeAuto(res *JobResult) ([]int, error) {
 	if best == nil {
 		return nil, badJob(422, "job: auto: every portfolio candidate failed")
 	}
-	report.Winner = autoCandidates[bestIdx].name
+	report.Winner = cands[bestIdx].name
 	res.Strategy = "auto"
 	res.Auto = report
 	res.EdgeCut = best.edgeCut

@@ -7,12 +7,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
 	topomap "repro"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/hiertopo"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/taskgraph"
@@ -28,8 +30,19 @@ type Job struct {
 	// Graph selects the task graph: a built-in pattern spec or an inline
 	// graph in the taskgraph JSON format.
 	Graph GraphSpec `json:"graph"`
-	// Topology is a spec like "torus:16,16" (see internal/cliutil).
+	// Topology is a spec like "torus:16,16" or "hier:pod:2/rack:4/
+	// node:8:torus-2x4" (see internal/cliutil).
 	Topology string `json:"topology"`
+	// Hierarchy describes a hierarchical machine structurally (see
+	// internal/hiertopo); mutually exclusive with Topology. The job runs
+	// exactly as if Topology were "hier:" plus the canonical compact
+	// spec, so the two forms share cache entries.
+	Hierarchy *hiertopo.Spec `json:"hierarchy,omitempty"`
+	// Constraints restrict placement to a single instance of named
+	// hierarchy levels; only valid on hierarchical topologies. A job
+	// smaller than the machine packs onto the lowest-ranked processors
+	// of its innermost feasible constrained level.
+	Constraints []Constraint `json:"constraints,omitempty"`
 	// Strategy is a name like "topolb" (see internal/cliutil), or "auto"
 	// to let the service run its budgeted strategy portfolio and return
 	// the best mapping by hop-bytes. Default "topolb".
@@ -66,6 +79,31 @@ type GraphSpec struct {
 	// "vertexWeights": [...], "edges": [[a,b],...], "edgeWeights":
 	// [...]}).
 	Inline json.RawMessage `json:"inline,omitempty"`
+}
+
+// Constraint restricts placement to one instance of a hierarchy level:
+// {"level": "rack", "kind": "required"} demands the whole job fit inside
+// a single rack.
+type Constraint struct {
+	// Level names a level of the job's hierarchy.
+	Level string `json:"level"`
+	// Kind is "required" (an infeasible constraint rejects the job) or
+	// "preferred" (an infeasible constraint is recorded as unsatisfied
+	// and placement falls back outward). Default "required".
+	Kind string `json:"kind,omitempty"`
+}
+
+// ConstraintResult reports one constraint's outcome, verified against
+// the actual placement the response carries.
+//
+// Wire order matches the normalized constraint order: by level
+// (outermost first), then kind.
+type ConstraintResult struct {
+	Level     string `json:"level"`
+	Kind      string `json:"kind"`
+	Satisfied bool   `json:"satisfied"`
+	// Reason explains an unsatisfied constraint.
+	Reason string `json:"reason,omitempty"`
 }
 
 // SimSpec configures the optional per-job netsim evaluation pass.
@@ -115,11 +153,14 @@ type JobResult struct {
 	// EdgeCut and Imbalance report the phase-one partition quality for
 	// jobs with more tasks than processors (two-phase pipeline); both are
 	// omitted for one-task-per-processor jobs.
-	EdgeCut   float64         `json:"edge_cut,omitempty"`
-	Imbalance float64         `json:"imbalance,omitempty"`
-	Auto      *AutoReport     `json:"auto,omitempty"`
-	Report    *metrics.Report `json:"report,omitempty"`
-	Sim       *SimResult      `json:"sim,omitempty"`
+	EdgeCut   float64 `json:"edge_cut,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// Constraints reports each placement constraint's outcome on
+	// hierarchical jobs that set any.
+	Constraints []ConstraintResult `json:"constraints,omitempty"`
+	Auto        *AutoReport        `json:"auto,omitempty"`
+	Report      *metrics.Report    `json:"report,omitempty"`
+	Sim         *SimResult         `json:"sim,omitempty"`
 }
 
 // SimResult carries the netsim evaluation outputs.
@@ -138,9 +179,22 @@ type job struct {
 	topo  topology.Topology
 	strat core.Strategy // nil for auto jobs (the portfolio picks per run)
 	key   string
+	// hier is the topology's hierarchy view, nil on flat machines.
+	hier *hiertopo.Hierarchy
+	// mapTopo is the topology strategies actually map onto: topo, or the
+	// rank-prefix subtree a feasible placement constraint packs into.
+	// Subtree distances equal the parent's on the prefix, so metrics
+	// against topo match metrics against mapTopo exactly.
+	mapTopo topology.Topology
+	// cres is the normalized constraints' feasibility outcome, verified
+	// against the final placement by verifyConstraints.
+	cres []ConstraintResult
 	// partitioned marks a job with more tasks than processors, served by
 	// the two-phase partition→map pipeline.
 	partitioned bool
+	// packed marks a constrained hierarchical job with fewer tasks than
+	// processors, served by a packing-capable Placer (strategy hier).
+	packed bool
 	// auto marks a portfolio job: compute runs every admitted candidate
 	// and returns the best mapping by hop-bytes.
 	auto bool
@@ -172,8 +226,24 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	spec.Topology = strings.ToLower(strings.TrimSpace(spec.Topology))
 	spec.Strategy = strings.ToLower(strings.TrimSpace(spec.Strategy))
 	spec.Graph.Pattern = strings.ToLower(strings.TrimSpace(spec.Graph.Pattern))
+	if spec.Hierarchy != nil {
+		if spec.Topology != "" {
+			return nil, badJob(400, "job: topology and hierarchy are mutually exclusive")
+		}
+		h, err := spec.Hierarchy.Build()
+		if err != nil {
+			return nil, badJob(400, "job: hierarchy: %v", err)
+		}
+		// Normalize to the canonical compact spec so structural and
+		// compact submissions of the same machine share a content key.
+		spec.Topology = "hier:" + h.Spec()
+		spec.Hierarchy = nil
+	}
 	if spec.Topology == "" {
 		return nil, badJob(400, "job: topology is required")
+	}
+	if len(spec.Constraints) > 0 && !strings.HasPrefix(spec.Topology, "hier:") {
+		return nil, badJob(400, "job: constraints require a hierarchical topology (hier:SPEC or the hierarchy field)")
 	}
 	if spec.Strategy == "" {
 		spec.Strategy = "topolb"
@@ -250,6 +320,19 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	if err != nil {
 		return nil, badJob(400, "job: %v", err)
 	}
+	j.mapTopo = j.topo
+	if h, ok := j.topo.(*hiertopo.Hierarchy); ok {
+		j.hier = h
+	}
+	if spec.Strategy == "hier" && j.hier == nil {
+		return nil, badJob(400, "job: strategy hier requires a hierarchical topology (hier:SPEC or the hierarchy field)")
+	}
+	if len(spec.Constraints) > 0 {
+		spec.Constraints, err = normalizeConstraints(spec.Constraints, j.hier)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if auto {
 		j.auto = true
 	} else {
@@ -285,11 +368,20 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	if maxTasks > 0 && j.graph.NumVertices() > maxTasks {
 		return nil, badJob(413, "job: graph has %d tasks, limit is %d", j.graph.NumVertices(), maxTasks)
 	}
+	if len(spec.Constraints) > 0 {
+		if err := j.resolveConstraints(spec.Constraints); err != nil {
+			return nil, err
+		}
+	}
 	switch {
-	case j.graph.NumVertices() < j.topo.Nodes():
+	case j.graph.NumVertices() < j.mapTopo.Nodes() && len(spec.Constraints) > 0:
+		// A constrained hierarchical job smaller than its packing region
+		// packs onto the region's lowest-ranked processors.
+		j.packed = true
+	case j.graph.NumVertices() < j.mapTopo.Nodes():
 		return nil, badJob(400, "job: graph has %d tasks but topology has %d processors (tasks must fill the machine)",
 			j.graph.NumVertices(), j.topo.Nodes())
-	case j.graph.NumVertices() > j.topo.Nodes():
+	case j.graph.NumVertices() > j.mapTopo.Nodes():
 		// More tasks than processors: serve through the two-phase
 		// partition→map pipeline.
 		j.partitioned = true
@@ -305,11 +397,115 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 	if j.auto && spec.AutoBudgetMS == 0 {
 		// Resolve the default before hashing, so an explicit budget equal
 		// to the derived default shares the cache entry.
-		spec.AutoBudgetMS = defaultAutoBudgetMS(j.graph.NumVertices(), j.graph.NumEdges(), j.topo.Nodes())
+		spec.AutoBudgetMS = defaultAutoBudgetMS(j.graph.NumVertices(), j.graph.NumEdges(), j.mapTopo.Nodes(), j.hier != nil)
 	}
 	j.spec = spec
 	j.key = contentKey(&spec, graphBytes)
 	return j, nil
+}
+
+// normalizeConstraints canonicalizes a job's placement constraints:
+// names lowercased, kind defaulted to "required", unknown levels and
+// kinds rejected, entries sorted by (level depth, kind) and exact
+// duplicates dropped. Two spellings of the same constraint set therefore
+// hash to the same content key.
+func normalizeConstraints(cs []Constraint, h *hiertopo.Hierarchy) ([]Constraint, error) {
+	out := make([]Constraint, 0, len(cs))
+	for _, c := range cs {
+		c.Level = strings.ToLower(strings.TrimSpace(c.Level))
+		c.Kind = strings.ToLower(strings.TrimSpace(c.Kind))
+		if c.Kind == "" {
+			c.Kind = "required"
+		}
+		if c.Kind != "required" && c.Kind != "preferred" {
+			return nil, badJob(400, "job: constraint kind %q: want \"required\" or \"preferred\"", c.Kind)
+		}
+		if h.LevelIndex(c.Level) < 0 {
+			names := make([]string, 0, h.NumLevels())
+			for _, lv := range h.Levels() {
+				names = append(names, lv.Name)
+			}
+			return nil, badJob(400, "job: constraint level %q: hierarchy has levels %s",
+				c.Level, strings.Join(names, ", "))
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		la, lb := h.LevelIndex(out[a].Level), h.LevelIndex(out[b].Level)
+		if la != lb {
+			return la < lb
+		}
+		return out[a].Kind < out[b].Kind
+	})
+	dedup := out[:0]
+	for i, c := range out {
+		if i > 0 && c == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, c)
+	}
+	return dedup, nil
+}
+
+// resolveConstraints decides each normalized constraint's feasibility
+// against the job size and narrows mapTopo to the innermost feasible
+// constrained level's rank-prefix subtree. A required constraint the job
+// cannot fit rejects the job; a preferred one is recorded as unsatisfied
+// and placement falls back outward. Purely size-driven, so the outcome
+// is a function of the content key.
+func (j *job) resolveConstraints(cs []Constraint) error {
+	n := j.graph.NumVertices()
+	j.cres = make([]ConstraintResult, len(cs))
+	packLevel := -1
+	for i, c := range cs {
+		li := j.hier.LevelIndex(c.Level)
+		inst := j.hier.InstanceSize(li)
+		cr := ConstraintResult{Level: c.Level, Kind: c.Kind, Satisfied: true}
+		if n > inst {
+			if c.Kind == "required" {
+				return badJob(400, "job: constraint: %d tasks cannot fit one %s (%d processors); drop the constraint or mark it preferred",
+					n, c.Level, inst)
+			}
+			cr.Satisfied = false
+			cr.Reason = fmt.Sprintf("%d tasks exceed one %s (%d processors); placement falls back outward", n, c.Level, inst)
+		} else if li > packLevel {
+			packLevel = li
+		}
+		j.cres[i] = cr
+	}
+	if packLevel >= 0 {
+		sub, err := j.hier.Subtree(packLevel)
+		if err != nil {
+			return badJob(500, "job: constraint subtree: %v", err)
+		}
+		j.mapTopo = sub
+	}
+	return nil
+}
+
+// verifyConstraints re-checks every constraint the resolver deemed
+// satisfiable against the placement the response actually carries: a
+// level-li constraint holds iff every task landed in the rank prefix
+// [0, InstanceSize(li)) that is instance 0 of that level. This converts
+// "the planner intended to satisfy it" into "the mapping satisfies it".
+func (j *job) verifyConstraints(m []int) []ConstraintResult {
+	out := append([]ConstraintResult(nil), j.cres...)
+	for i := range out {
+		if !out[i].Satisfied {
+			continue
+		}
+		li := j.hier.LevelIndex(out[i].Level)
+		inst := j.hier.InstanceSize(li)
+		for task, rank := range m {
+			if rank >= inst {
+				out[i].Satisfied = false
+				out[i].Reason = fmt.Sprintf("task %d placed on processor %d, outside the first %s (%d processors)",
+					task, rank, out[i].Level, inst)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // contentKey hashes everything the response body depends on. Two jobs
@@ -317,8 +513,11 @@ func normalize(spec Job, maxTasks int) (*job, error) {
 // use for the result cache, in-flight coalescing, and shard routing.
 func contentKey(spec *Job, inlineGraph []byte) string {
 	h := sha256.New()
-	hashf(h, "v2\x00%s\x00%s\x00%d\x00%d\x00%t\x00%t\x00",
+	hashf(h, "v3\x00%s\x00%s\x00%d\x00%d\x00%t\x00%t\x00",
 		spec.Topology, spec.Strategy, spec.Seed, spec.AutoBudgetMS, spec.Refine, spec.Metrics)
+	for _, c := range spec.Constraints {
+		hashf(h, "constraint\x00%s\x00%s\x00", c.Level, c.Kind)
+	}
 	if spec.Graph.Pattern != "" {
 		hashf(h, "pattern\x00%s\x00%g\x00%d\x00", spec.Graph.Pattern, spec.Graph.MsgBytes, spec.Graph.Seed)
 	} else {
@@ -369,6 +568,9 @@ func (j *job) compute() (*JobResult, error) {
 	if total := j.graph.TotalComm(); total > 0 {
 		res.HopsPerByte = res.HopBytes / total
 	}
+	if j.cres != nil {
+		res.Constraints = j.verifyConstraints(m)
+	}
 	if j.spec.Metrics {
 		rep, err := metrics.Evaluate(j.graph, j.topo, m)
 		if err != nil {
@@ -417,7 +619,7 @@ func (j *job) runStrategy(strat core.Strategy, res *JobResult) ([]int, error) {
 		// The partitioner's RNG is seeded from the job spec, so two jobs
 		// whose content keys differ only in Seed genuinely partition
 		// differently instead of silently sharing the zero seed.
-		pr, err := topomap.MapTasks(j.graph, j.topo, topomap.Multilevel{Seed: j.spec.Seed}, strat)
+		pr, err := topomap.MapTasks(j.graph, j.mapTopo, topomap.Multilevel{Seed: j.spec.Seed}, strat)
 		if err != nil {
 			return nil, badJob(422, "job: %s: %v", strat.Name(), err)
 		}
@@ -427,7 +629,21 @@ func (j *job) runStrategy(strat core.Strategy, res *JobResult) ([]int, error) {
 		}
 		return pr.Placement, nil
 	}
-	m, err := strat.Map(j.graph, j.topo)
+	if j.packed {
+		// The job is smaller than its constrained packing region; only a
+		// Placer can leave processors idle.
+		placer, ok := strat.(core.Placer)
+		if !ok {
+			return nil, badJob(422, "job: %s cannot pack %d tasks onto %d processors; use strategy \"hier\" (or \"auto\")",
+				strat.Name(), j.graph.NumVertices(), j.mapTopo.Nodes())
+		}
+		m, err := placer.Place(j.graph, j.mapTopo)
+		if err != nil {
+			return nil, badJob(422, "job: %s: %v", strat.Name(), err)
+		}
+		return m, nil
+	}
+	m, err := strat.Map(j.graph, j.mapTopo)
 	if err != nil {
 		return nil, badJob(422, "job: %s: %v", strat.Name(), err)
 	}

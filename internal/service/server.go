@@ -474,8 +474,9 @@ func (s *Server) Snapshot() Stats {
 	st.ResultCache.Bytes = bytes
 	st.Auto.JobsComputed = s.stats.autoComputed.Load()
 	st.Auto.MaxPortfolioNs = s.stats.autoMaxPortfolioNs.Load()
-	st.Auto.Strategies = make([]AutoStratStats, len(autoCandidates))
-	for i, c := range autoCandidates {
+	allCands := append(append([]autoCandidate(nil), autoCandidates...), hierCandidate)
+	st.Auto.Strategies = make([]AutoStratStats, len(allCands))
+	for i, c := range allCands {
 		st.Auto.Strategies[i] = AutoStratStats{
 			Strategy:    c.name,
 			Runs:        s.stats.autoRuns[i].Load(),

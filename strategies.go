@@ -40,6 +40,15 @@ type Hybrid = hybrid.Hybrid
 // directly when tasks outnumber processors.
 type MultilevelMap = core.MultilevelMap
 
+// HierMap is the two-phase strategy for Hierarchy machines: phase 1
+// recursively splits the task graph into exact-capacity groups down the
+// levels (geometric bisection when task coordinates are set, multilevel
+// graph partitioning otherwise), phase 2 maps each leaf with a flat
+// kernel, and a bounded cross-leaf swap pass refines under the composite
+// metric. Implements Placer; with fewer tasks than processors it packs
+// compactly onto the lowest ranks (the service's constraint mode).
+type HierMap = core.HierMap
+
 // SFC is the near-linear geometric strategy: tasks ordered by the
 // space-filling-curve index of their coordinates (graph-BFS order when
 // no coordinates exist), contiguous curve runs assigned to processors

@@ -1,6 +1,9 @@
 package topomap
 
-import "repro/internal/topology"
+import (
+	"repro/internal/hiertopo"
+	"repro/internal/topology"
+)
 
 // Topology is an interconnection network: node count, adjacency, and
 // shortest-path distance.
@@ -47,6 +50,29 @@ func MeanDistance(t Topology) float64 { return topology.MeanDistance(t) }
 
 // Diameter returns the largest pairwise distance of t.
 func Diameter(t Topology) int { return topology.Diameter(t) }
+
+// Hierarchy is a hierarchical machine description (pods of racks of
+// nodes of leaf networks) with a composite distance metric: intra-leaf
+// pairs pay the exact leaf distance, cross-leaf pairs pay the cost of
+// the outermost level their ranks diverge at (default 10× per level
+// outward). Usable anywhere a Topology is accepted; pair it with the
+// HierMap strategy for two-phase constrained mapping.
+type Hierarchy = hiertopo.Hierarchy
+
+// HierarchyLevel describes one level of a Hierarchy, outermost first.
+type HierarchyLevel = hiertopo.Level
+
+// ParseHierarchy parses the compact spec, e.g.
+// "pod:2/rack:4/node:8:torus-2x4" (levels outermost first, optional
+// "@cost" suffix per level, optional leaf topology bound to the
+// innermost segment — see internal/hiertopo).
+func ParseHierarchy(spec string) (*Hierarchy, error) { return hiertopo.Parse(spec) }
+
+// NewHierarchy constructs a hierarchy from explicit levels and a leaf
+// topology spec ("" binds single-processor leaves).
+func NewHierarchy(levels []HierarchyLevel, leafSpec string) (*Hierarchy, error) {
+	return hiertopo.New(levels, leafSpec)
+}
 
 // Dragonfly is the modern hierarchical low-diameter topology (groups of
 // fully connected routers joined by global links).
